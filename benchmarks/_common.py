@@ -1,0 +1,111 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at laptop
+scale.  The paper's full grids (500,000 random cases, 1000-way parallelism)
+are far beyond a single benchmark run, so each benchmark:
+
+* sweeps the same parameter the paper sweeps,
+* uses a scaled-down value set and instance count by default,
+* honours ``REPRO_BENCH_SCALE=paper`` to run the paper-sized values
+  (slow — minutes to hours), and
+* prints the resulting rows and writes them to ``benchmarks/results/``
+  so they can be compared against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.config import (
+    ApplicationExperimentConfig,
+    RandomExperimentConfig,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: "laptop" (default) or "paper"
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+
+#: Number of generated instances averaged per sweep point.
+INSTANCES = 3 if SCALE == "paper" else 1
+
+#: Parallelism values for the application sweeps (paper: 200..1000).
+APP_PARALLELISM = (200, 400, 600, 800, 1000) if SCALE == "paper" else (40, 80, 120, 160, 200)
+
+#: Job-count values for the random-DAG sweeps (paper Table 2).
+RANDOM_V = (20, 40, 60, 80, 100)
+
+#: CCR values (paper Tables 2/5).
+CCR_VALUES = (0.1, 0.5, 1.0, 5.0, 10.0)
+
+#: Heterogeneity values (paper Tables 2/5).
+BETA_VALUES = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+#: Initial pool sizes for application experiments (paper: 20..100).
+APP_POOL_SIZES = (20, 40, 60, 80, 100) if SCALE == "paper" else (10, 20, 30, 40, 50)
+
+#: Resource-change intervals Δ (paper Tables 2/5).
+INTERVALS = (400.0, 800.0, 1200.0, 1600.0)
+
+#: Resource-change fractions δ (paper Tables 2/5).
+FRACTIONS = (0.10, 0.15, 0.20, 0.25)
+
+#: Default application parallelism when it is not the swept parameter.
+DEFAULT_APP_PARALLELISM = 400 if SCALE == "paper" else 100
+
+
+def base_random_config(**overrides) -> RandomExperimentConfig:
+    """Default random-DAG configuration used when a parameter is not swept."""
+    defaults = dict(v=60, ccr=1.0, out_degree=0.2, beta=0.5,
+                    resources=10, interval=400.0, fraction=0.15)
+    defaults.update(overrides)
+    return RandomExperimentConfig(**defaults)
+
+
+def base_application_config(application: str, **overrides) -> ApplicationExperimentConfig:
+    """Default application configuration used when a parameter is not swept."""
+    defaults = dict(application=application, parallelism=DEFAULT_APP_PARALLELISM,
+                    ccr=1.0, beta=0.5, resources=20, interval=400.0, fraction=0.15)
+    defaults.update(overrides)
+    return ApplicationExperimentConfig(**defaults)
+
+
+def application_series(parameter: str, values: Sequence, *, seed: int = 0,
+                       applications: Sequence[str] = ("blast", "wien2k")):
+    """Sweep one parameter for each application; returns {label: [SweepPoint]}.
+
+    This is the common core of Tables 7/8 and every Fig. 8 panel: the same
+    parameter is swept for BLAST and WIEN2K under identical dynamics, and
+    the per-value average makespans of HEFT and AHEFT are collected.
+    """
+    from repro.experiments.sweep import sweep_application_parameter
+
+    series = {}
+    for application in applications:
+        points = sweep_application_parameter(
+            application,
+            parameter,
+            list(values),
+            base_config=base_application_config(application),
+            instances=INSTANCES,
+            strategies=("HEFT", "AHEFT"),
+            seed=seed,
+        )
+        series[application.upper()] = points
+    return series
+
+
+def publish(name: str, text: str) -> None:
+    """Print a benchmark's table and persist it under benchmarks/results/."""
+    print()
+    print(f"### {name} (scale={SCALE}) ###")
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

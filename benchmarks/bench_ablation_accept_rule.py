@@ -1,0 +1,39 @@
+"""Ablation — the "accept only if better" rule of the adaptive loop (Fig. 2 line 7).
+
+Not a paper table: this ablation quantifies the design choice DESIGN.md
+calls out.  Dropping the guard (always adopting the rescheduled plan) can
+only be equal or worse, because the HEFT heuristic occasionally produces a
+longer schedule when the resource set changes.
+"""
+
+from _common import SCALE, base_application_config, publish, run_once
+
+from repro.experiments.metrics import average
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentCase, run_case
+
+NUM_CASES = 6 if SCALE == "paper" else 3
+
+
+def _experiment():
+    results = []
+    for instance in range(NUM_CASES):
+        config = base_application_config("blast", instance=instance, seed=60 + instance)
+        experiment = ExperimentCase(config.build_case(), config.build_resource_model())
+        results.append(
+            run_case(experiment, strategies=("HEFT", "AHEFT", "AHEFT-always"))
+        )
+    return results
+
+
+def test_ablation_accept_only_if_better(benchmark):
+    results = run_once(benchmark, _experiment)
+    means = {
+        strategy: average(result.makespans[strategy] for result in results)
+        for strategy in ("HEFT", "AHEFT", "AHEFT-always")
+    }
+    rows = [[strategy, means[strategy]] for strategy in means]
+    table = format_table(["variant", "avg makespan"], rows)
+    publish("ablation_accept_rule", table)
+    assert means["AHEFT"] <= means["HEFT"] + 1e-9
+    assert means["AHEFT"] <= means["AHEFT-always"] + 1e-9

@@ -1,0 +1,43 @@
+"""Fig. 4/5 — the worked example: HEFT makespan 80, AHEFT with r4 at t=15.
+
+Paper: HEFT = 80, AHEFT = 76.  Our faithful implementation of the stated
+equations reproduces HEFT = 80 exactly; the greedy min-EFT rule keeps the
+original plan at this tiny scale (see EXPERIMENTS.md for the discussion),
+so the adopted makespan stays at 80 while remaining provably no worse than
+the static plan.
+"""
+
+from _common import publish, run_once
+
+from repro.core.adaptive import run_adaptive, run_static
+from repro.experiments.reporting import format_table
+from repro.generators.sample import (
+    sample_dag_cost_model,
+    sample_dag_pool,
+    sample_dag_workflow,
+)
+
+
+def _experiment():
+    workflow = sample_dag_workflow()
+    costs = sample_dag_cost_model(workflow)
+    pool = sample_dag_pool()
+    heft = run_static(workflow, costs, pool)
+    aheft = run_adaptive(workflow, costs, pool)
+    return heft, aheft
+
+
+def test_fig5_sample_dag(benchmark):
+    heft, aheft = run_once(benchmark, _experiment)
+    rows = [
+        ["HEFT (r1-r3)", 80.0, heft.makespan],
+        ["AHEFT (r4 joins at 15)", 76.0, aheft.makespan],
+    ]
+    table = format_table(["schedule", "paper", "measured"], rows)
+    table += (
+        f"\nevents evaluated: {aheft.evaluated_events}, "
+        f"reschedules adopted: {aheft.rescheduling_count}"
+    )
+    publish("fig5_sample_dag", table)
+    assert heft.makespan == 80.0
+    assert aheft.makespan <= heft.makespan

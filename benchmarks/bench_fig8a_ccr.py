@@ -1,0 +1,25 @@
+"""Fig. 8(a) — average makespan vs CCR for HEFT/AHEFT on BLAST and WIEN2K.
+
+Paper: makespan grows with CCR for every strategy; the AHEFT curves sit
+below the corresponding HEFT curves, with the widest gap for BLAST.
+"""
+
+from _common import CCR_VALUES, application_series, publish, run_once
+
+from repro.experiments.reporting import render_series
+
+
+def _experiment():
+    return application_series("ccr", CCR_VALUES, seed=50)
+
+
+def test_fig8a_makespan_vs_ccr(benchmark):
+    series = run_once(benchmark, _experiment)
+    publish("fig8a_ccr", render_series(series, title="Fig. 8(a): average makespan vs CCR"))
+    for points in series.values():
+        # AHEFT curve never above HEFT curve
+        assert all(
+            p.mean_makespans["AHEFT"] <= p.mean_makespans["HEFT"] + 1e-9 for p in points
+        )
+        # makespan grows with data intensity
+        assert points[-1].mean_makespans["HEFT"] > points[0].mean_makespans["HEFT"]

@@ -1,0 +1,22 @@
+"""Fig. 8(b) — average makespan vs resource heterogeneity β (BLAST, WIEN2K).
+
+Paper: the improvement rate is not very sensitive to β; the AHEFT curves
+stay below the HEFT curves across the whole range.
+"""
+
+from _common import BETA_VALUES, application_series, publish, run_once
+
+from repro.experiments.reporting import render_series
+
+
+def _experiment():
+    return application_series("beta", BETA_VALUES, seed=51)
+
+
+def test_fig8b_makespan_vs_beta(benchmark):
+    series = run_once(benchmark, _experiment)
+    publish("fig8b_beta", render_series(series, title="Fig. 8(b): average makespan vs beta"))
+    for points in series.values():
+        assert all(
+            p.mean_makespans["AHEFT"] <= p.mean_makespans["HEFT"] + 1e-9 for p in points
+        )

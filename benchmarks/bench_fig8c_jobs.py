@@ -1,0 +1,26 @@
+"""Fig. 8(c) — average makespan vs total number of jobs (BLAST, WIEN2K).
+
+Paper: makespan grows with the number of jobs; the gap between HEFT and
+AHEFT widens as the DAG gets more complex.
+"""
+
+from _common import APP_PARALLELISM, application_series, publish, run_once
+
+from repro.experiments.reporting import render_series
+
+
+def _experiment():
+    return application_series("parallelism", APP_PARALLELISM, seed=52)
+
+
+def test_fig8c_makespan_vs_jobs(benchmark):
+    series = run_once(benchmark, _experiment)
+    publish(
+        "fig8c_jobs",
+        render_series(series, title="Fig. 8(c): average makespan vs number of jobs (parallelism)"),
+    )
+    for points in series.values():
+        assert all(
+            p.mean_makespans["AHEFT"] <= p.mean_makespans["HEFT"] + 1e-9 for p in points
+        )
+        assert points[-1].mean_makespans["HEFT"] > points[0].mean_makespans["HEFT"]

@@ -1,0 +1,30 @@
+"""Fig. 8(d) — average makespan vs initial resource pool size (BLAST, WIEN2K).
+
+Paper: the smaller the initial pool, the more AHEFT outperforms HEFT; once
+the initial pool is large enough the improvement flattens out.
+"""
+
+from _common import APP_POOL_SIZES, application_series, publish, run_once
+
+from repro.experiments.reporting import render_series
+
+
+def _experiment():
+    return application_series("resources", APP_POOL_SIZES, seed=53)
+
+
+def test_fig8d_makespan_vs_pool_size(benchmark):
+    series = run_once(benchmark, _experiment)
+    publish(
+        "fig8d_pool",
+        render_series(series, title="Fig. 8(d): average makespan vs initial resource pool size"),
+    )
+    for points in series.values():
+        assert all(
+            p.mean_makespans["AHEFT"] <= p.mean_makespans["HEFT"] + 1e-9 for p in points
+        )
+        # bigger initial pools shorten the static schedule
+        assert points[-1].mean_makespans["HEFT"] <= points[0].mean_makespans["HEFT"] + 1e-9
+    blast = series["BLAST"]
+    # the relative improvement is largest for the smallest pool
+    assert blast[0].improvement() >= blast[-1].improvement() - 0.02

@@ -1,0 +1,29 @@
+"""Fig. 8(e) — average makespan vs resource-change interval Δ (BLAST, WIEN2K).
+
+Paper: the more dynamic the grid (smaller Δ, i.e. more frequent additions),
+the more efficient AHEFT is; HEFT is insensitive to Δ because it never uses
+the added resources.
+"""
+
+from _common import INTERVALS, application_series, publish, run_once
+
+from repro.experiments.reporting import render_series
+
+
+def _experiment():
+    return application_series("interval", INTERVALS, seed=54)
+
+
+def test_fig8e_makespan_vs_interval(benchmark):
+    series = run_once(benchmark, _experiment)
+    publish(
+        "fig8e_interval",
+        render_series(series, title="Fig. 8(e): average makespan vs resource change interval"),
+    )
+    for points in series.values():
+        assert all(
+            p.mean_makespans["AHEFT"] <= p.mean_makespans["HEFT"] + 1e-9 for p in points
+        )
+    blast = series["BLAST"]
+    # more frequent additions (small Δ) help at least as much as rare ones
+    assert blast[0].improvement() >= blast[-1].improvement() - 0.02

@@ -1,0 +1,25 @@
+"""Fig. 8(f) — average makespan vs resource-change percentage δ (BLAST, WIEN2K).
+
+Paper: the improvement rate is not very sensitive to δ; AHEFT stays below
+HEFT across the range.
+"""
+
+from _common import FRACTIONS, application_series, publish, run_once
+
+from repro.experiments.reporting import render_series
+
+
+def _experiment():
+    return application_series("fraction", FRACTIONS, seed=55)
+
+
+def test_fig8f_makespan_vs_change_percentage(benchmark):
+    series = run_once(benchmark, _experiment)
+    publish(
+        "fig8f_percentage",
+        render_series(series, title="Fig. 8(f): average makespan vs resource change percentage"),
+    )
+    for points in series.values():
+        assert all(
+            p.mean_makespans["AHEFT"] <= p.mean_makespans["HEFT"] + 1e-9 for p in points
+        )

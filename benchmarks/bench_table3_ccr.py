@@ -1,0 +1,39 @@
+"""Table 3 — AHEFT improvement over HEFT vs CCR on random DAGs.
+
+Paper: 0.4%, 0.5%, 0.7%, 3.2%, 7.7% for CCR = 0.1, 0.5, 1, 5, 10 — the
+improvement grows with data intensiveness.
+"""
+
+from _common import CCR_VALUES, INSTANCES, base_random_config, publish, run_once
+
+from repro.experiments.reporting import render_improvement_table
+from repro.experiments.sweep import sweep_random_parameter
+
+PAPER_ROW = {0.1: 0.4, 0.5: 0.5, 1.0: 0.7, 5.0: 3.2, 10.0: 7.7}
+
+
+def _experiment():
+    return sweep_random_parameter(
+        "ccr",
+        list(CCR_VALUES),
+        base_config=base_random_config(),
+        instances=max(INSTANCES, 2),
+        strategies=("HEFT", "AHEFT"),
+        seed=30,
+    )
+
+
+def test_table3_improvement_vs_ccr(benchmark):
+    points = run_once(benchmark, _experiment)
+    table = render_improvement_table(points, title="Table 3: improvement rate vs CCR")
+    paper_line = "paper:       " + "  ".join(
+        f"{PAPER_ROW[point.value]:.1f}%" for point in points
+    )
+    publish("table3_ccr", table + "\n" + paper_line)
+    # AHEFT never loses to HEFT at any CCR.  (The paper additionally reports
+    # the improvement *growing* with CCR on random DAGs; with our bandwidth
+    # calibration the trend on random DAGs is flat-to-decreasing — see
+    # EXPERIMENTS.md for the discussion.  The application-level CCR trend of
+    # Table 8 is reproduced.)
+    improvements = [point.improvement() for point in points]
+    assert all(rate >= -1e-9 for rate in improvements)

@@ -1,0 +1,34 @@
+"""Table 4 — AHEFT improvement over HEFT vs total number of jobs (random DAGs).
+
+Paper: 2.9%, 3.9%, 4.3%, 4.2%, 4.1% for v = 20, 40, 60, 80, 100 — the rate
+jumps initially and then stabilises.
+"""
+
+from _common import INSTANCES, RANDOM_V, base_random_config, publish, run_once
+
+from repro.experiments.reporting import render_improvement_table
+from repro.experiments.sweep import sweep_random_parameter
+
+PAPER_ROW = {20: 2.9, 40: 3.9, 60: 4.3, 80: 4.2, 100: 4.1}
+
+
+def _experiment():
+    return sweep_random_parameter(
+        "v",
+        list(RANDOM_V),
+        base_config=base_random_config(),
+        instances=max(INSTANCES, 2),
+        strategies=("HEFT", "AHEFT"),
+        seed=31,
+    )
+
+
+def test_table4_improvement_vs_jobs(benchmark):
+    points = run_once(benchmark, _experiment)
+    table = render_improvement_table(points, title="Table 4: improvement rate vs number of jobs")
+    paper_line = "paper:       " + "  ".join(
+        f"{PAPER_ROW[point.value]:.1f}%" for point in points
+    )
+    publish("table4_jobs", table + "\n" + paper_line)
+    improvements = [point.improvement() for point in points]
+    assert all(rate >= -1e-9 for rate in improvements)

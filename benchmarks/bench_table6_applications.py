@@ -1,0 +1,57 @@
+"""Table 6 — average makespan and improvement rate for BLAST and WIEN2K.
+
+Paper: BLAST HEFT 4939.3 vs AHEFT 3933.1 (20.4%); WIEN2K HEFT 3451.6 vs
+AHEFT 3233.8 (6.3%).  The benchmark averages a deterministic sample of the
+Table 5 grid per application and reports the same three columns.
+"""
+
+from dataclasses import replace
+
+from _common import SCALE, publish, run_once
+
+from repro.experiments.config import sample_application_grid
+from repro.experiments.metrics import average, improvement_rate
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentCase, run_case
+
+NUM_POINTS = 12 if SCALE == "paper" else 4
+MAX_PARALLELISM = 1000 if SCALE == "paper" else 120
+
+PAPER = {"blast": (4939.3, 3933.1, 20.4), "wien2k": (3451.6, 3233.8, 6.3)}
+
+
+def _run_application(application: str):
+    configs = sample_application_grid(application, NUM_POINTS, seed=40)
+    results = []
+    for config in configs:
+        if config.parallelism > MAX_PARALLELISM:
+            config = replace(config, parallelism=MAX_PARALLELISM)
+        experiment = ExperimentCase(config.build_case(), config.build_resource_model())
+        results.append(run_case(experiment, strategies=("HEFT", "AHEFT")))
+    heft = average(result.makespans["HEFT"] for result in results)
+    aheft = average(result.makespans["AHEFT"] for result in results)
+    return heft, aheft
+
+
+def _experiment():
+    return {app: _run_application(app) for app in ("blast", "wien2k")}
+
+
+def test_table6_applications(benchmark):
+    measured = run_once(benchmark, _experiment)
+    rows = []
+    for app, (heft, aheft) in measured.items():
+        rate = improvement_rate(heft, aheft) * 100.0
+        paper_heft, paper_aheft, paper_rate = PAPER[app]
+        rows.append([app.upper(), paper_heft, paper_aheft, f"{paper_rate:.1f}%",
+                     heft, aheft, f"{rate:.1f}%"])
+    table = format_table(
+        ["application", "paper HEFT", "paper AHEFT", "paper impr.",
+         "measured HEFT", "measured AHEFT", "measured impr."],
+        rows,
+    )
+    publish("table6_applications", table)
+    blast_rate = improvement_rate(*measured["blast"])
+    wien2k_rate = improvement_rate(*measured["wien2k"])
+    # shape: both applications benefit and AHEFT never loses
+    assert blast_rate >= -1e-9 and wien2k_rate >= -1e-9

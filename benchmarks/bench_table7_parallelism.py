@@ -1,0 +1,38 @@
+"""Table 7 — improvement rate vs parallelism for BLAST and WIEN2K.
+
+Paper: BLAST 15.9% → 23.6% and WIEN2K 2.2% → 9.4% as the parallelism grows
+from 200 to 1000 — the improvement increases with DAG complexity for both
+applications and BLAST gains more than WIEN2K throughout.
+"""
+
+from _common import APP_PARALLELISM, application_series, publish, run_once
+
+from repro.experiments.reporting import render_improvement_table
+
+PAPER = {
+    "BLAST": (15.9, 18.3, 19.9, 21.9, 23.6),
+    "WIEN2K": (2.2, 4.3, 6.0, 7.8, 9.4),
+}
+
+
+def _experiment():
+    return application_series("parallelism", APP_PARALLELISM, seed=41)
+
+
+def test_table7_improvement_vs_parallelism(benchmark):
+    series = run_once(benchmark, _experiment)
+    blocks = []
+    for label, points in series.items():
+        block = render_improvement_table(
+            points, title=f"Table 7 ({label}): improvement rate vs parallelism"
+        )
+        block += "\npaper:       " + "  ".join(f"{v:.1f}%" for v in PAPER[label])
+        blocks.append(block)
+    publish("table7_parallelism", "\n\n".join(blocks))
+    blast = [point.improvement() for point in series["BLAST"]]
+    wien2k = [point.improvement() for point in series["WIEN2K"]]
+    # shape: improvement grows with parallelism (first vs last point) and is
+    # non-negative everywhere
+    assert all(rate >= -1e-9 for rate in blast + wien2k)
+    assert blast[-1] >= blast[0] - 0.02
+    assert wien2k[-1] >= wien2k[0] - 0.02

@@ -1,0 +1,33 @@
+"""Table 8 — improvement rate vs CCR for BLAST and WIEN2K.
+
+Paper: BLAST 16.1%, 15.5%, 14.3%, 19.1%, 26.1% and WIEN2K 7.3%, 7.3%, 6.6%,
+5.3%, 6.4% for CCR = 0.1 … 10 — BLAST's improvement rises for very
+data-intensive workloads while WIEN2K stays roughly flat.
+"""
+
+from _common import CCR_VALUES, application_series, publish, run_once
+
+from repro.experiments.reporting import render_improvement_table
+
+PAPER = {
+    "BLAST": (16.1, 15.5, 14.3, 19.1, 26.1),
+    "WIEN2K": (7.3, 7.3, 6.6, 5.3, 6.4),
+}
+
+
+def _experiment():
+    return application_series("ccr", CCR_VALUES, seed=42)
+
+
+def test_table8_improvement_vs_ccr(benchmark):
+    series = run_once(benchmark, _experiment)
+    blocks = []
+    for label, points in series.items():
+        block = render_improvement_table(
+            points, title=f"Table 8 ({label}): improvement rate vs CCR"
+        )
+        block += "\npaper:       " + "  ".join(f"{v:.1f}%" for v in PAPER[label])
+        blocks.append(block)
+    publish("table8_app_ccr", "\n\n".join(blocks))
+    for points in series.values():
+        assert all(point.improvement() >= -1e-9 for point in points)

@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+from pathlib import Path
+
+# make the local helper module importable regardless of invocation directory
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""BLAST on a dynamic grid: HEFT vs AHEFT vs dynamic Min-Min.
+
+Reproduces the paper's central scenario (§4.3) at laptop scale: a wide,
+well-balanced BLAST workflow runs on a grid whose resource pool grows every
+Δ time units.  Static HEFT can only use the initial pool; AHEFT reschedules
+the remaining jobs whenever new resources appear; the dynamic Min-Min
+baseline maps each job only when it becomes ready.
+
+Run with:  python examples/blast_rescheduling.py [parallelism]
+"""
+
+import sys
+
+from repro import ResourceChangeModel, run_adaptive, run_dynamic, run_static
+from repro.generators.blast import generate_blast_case
+from repro.workflow.analysis import max_parallelism, parallelism_profile
+
+
+def main() -> None:
+    parallelism = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    case = generate_blast_case(parallelism, ccr=1.0, beta=0.5, omega_dag=300.0, seed=42)
+    model = ResourceChangeModel(initial_size=20, interval=400.0, fraction=0.15)
+    pool = model.build_pool()
+
+    print("=== BLAST workflow (paper Fig. 6 shape) ===")
+    print(f"parallelism: {parallelism}-way, jobs: {case.workflow.num_jobs}")
+    print(f"DAG width: {max_parallelism(case.workflow)}, "
+          f"level profile: {parallelism_profile(case.workflow)[:6]}...")
+    print(f"grid: {model.describe()} — {model.added_per_event} resource(s) join every Δ\n")
+
+    heft = run_static(case.workflow, case.costs, pool)
+    aheft = run_adaptive(case.workflow, case.costs, pool)
+    minmin = run_dynamic(case.workflow, case.costs, pool)
+
+    improvement = (heft.makespan - aheft.makespan) / heft.makespan * 100.0
+    print(f"{'strategy':<12}{'makespan':>12}")
+    print("-" * 24)
+    print(f"{'HEFT':<12}{heft.makespan:>12.1f}")
+    print(f"{'AHEFT':<12}{aheft.makespan:>12.1f}")
+    print(f"{'MinMin':<12}{minmin.makespan:>12.1f}")
+    print()
+    print(f"AHEFT adopted {aheft.rescheduling_count} of {aheft.evaluated_events} "
+          f"rescheduling opportunities")
+    print(f"AHEFT improvement over HEFT: {improvement:.1f}% "
+          f"(the paper reports 20.4% averaged over its full Table 5 grid)")
+    extra = [r for r in aheft.final_schedule.resources_used()
+             if pool.resource(r).available_from > 0]
+    print(f"late-joining resources actually used by AHEFT: {len(extra)}")
+
+
+if __name__ == "__main__":
+    main()

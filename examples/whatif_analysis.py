@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""'What ... if ...' analysis: proactive capacity planning for a running workflow.
+
+Paper §3.3 sketches this as future work: while a workflow is executing, ask
+the Planner what would happen to the expected makespan if specific resources
+were added or removed.  The AHEFT evaluation machinery answers the query
+without touching the running execution.
+
+Run with:  python examples/whatif_analysis.py
+"""
+
+from repro import ResourceChangeModel, run_static
+from repro.core.whatif import WhatIfAnalyzer
+from repro.generators.montage import generate_montage_case
+from repro.resources.resource import Resource
+
+
+def main() -> None:
+    case = generate_montage_case(40, ccr=2.0, beta=0.5, omega_dag=200.0, seed=3)
+    pool = ResourceChangeModel(initial_size=8, interval=1000.0, fraction=0.1).build_pool()
+    baseline = run_static(case.workflow, case.costs, pool)
+    schedule = baseline.final_schedule
+    clock = schedule.makespan() * 0.25
+
+    print("=== Montage workflow: what-if queries at 25% of the execution ===")
+    print(f"jobs: {case.workflow.num_jobs}, baseline HEFT makespan: {schedule.makespan():.1f}")
+    print(f"query time (clock): {clock:.1f}\n")
+
+    analyzer = WhatIfAnalyzer(case.workflow, case.costs, pool)
+
+    # 1. what if we could add 1, 2 or 4 extra machines right now?
+    for count in (1, 2, 4):
+        extras = [Resource(f"extra{i}", available_from=clock) for i in range(count)]
+        result = analyzer.if_resources_added(extras, clock=clock, current_schedule=schedule)
+        print(f"add {count} resource(s): predicted makespan {result.predicted_makespan:9.1f}  "
+              f"gain {result.predicted_gain:8.1f} ({result.relative_gain * 100.0:5.1f}%)")
+
+    # 2. which single existing resource hurts most if it were withdrawn?
+    print("\nimpact of losing one existing resource:")
+    for rid in pool.initial_resources()[:4]:
+        result = analyzer.if_resources_removed([rid], clock=clock, current_schedule=schedule)
+        print(f"remove {rid}: predicted makespan {result.predicted_makespan:9.1f} "
+              f"(delta {result.predicted_makespan - result.baseline_makespan:+.1f})")
+
+    # 3. rank candidate donations by their benefit
+    print("\nranking candidate donations (best first):")
+    candidates = [Resource(f"cand{i}", available_from=clock) for i in range(3)]
+    for result in analyzer.rank_candidate_additions(candidates, clock=clock, current_schedule=schedule):
+        print(f"  {result.query}: gain {result.predicted_gain:.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""repro — reproduction of *An Adaptive Rescheduling Strategy for Grid
+Workflow Applications* (Zhifeng Yu & Weisong Shi, IPDPS 2007).
+
+The package implements the paper's contribution — the AHEFT adaptive
+rescheduling algorithm and the Planner/Executor collaboration around it —
+together with every substrate the evaluation needs: the workflow DAG model,
+heterogeneous dynamic resource pools, the HEFT and dynamic Min-Min
+baselines, a discrete-event grid simulator, the random/BLAST/WIEN2K workflow
+generators and the experiment harness that regenerates the paper's tables
+and figures.
+
+Quickstart
+----------
+>>> from repro import (
+...     generate_blast_case, ResourceChangeModel, run_static, run_adaptive,
+... )
+>>> case = generate_blast_case(50, ccr=5.0, beta=0.5, seed=7)
+>>> pool = ResourceChangeModel(initial_size=10, interval=400, fraction=0.2).build_pool()
+>>> heft = run_static(case.workflow, case.costs, pool)
+>>> aheft = run_adaptive(case.workflow, case.costs, pool)
+>>> aheft.makespan <= heft.makespan
+True
+"""
+
+from repro.workflow import (
+    Job,
+    Workflow,
+    CostModel,
+    TabularCostModel,
+    HeterogeneousCostModel,
+    UniformCostModel,
+    upward_ranks,
+    critical_path,
+    parallelism_profile,
+)
+from repro.resources import (
+    Resource,
+    ResourcePool,
+    ResourceChangeModel,
+    StaticResourceModel,
+    ReservationBook,
+)
+from repro.scheduling import (
+    Assignment,
+    Schedule,
+    ExecutionState,
+    JobStatus,
+    HEFTScheduler,
+    heft_schedule,
+    AHEFTScheduler,
+    aheft_reschedule,
+    MinMinScheduler,
+    validate_schedule,
+)
+from repro.core import (
+    Planner,
+    Predictor,
+    PerformanceHistoryRepository,
+    AdaptiveReschedulingLoop,
+    run_static,
+    run_adaptive,
+    run_dynamic,
+    WhatIfAnalyzer,
+)
+from repro.simulation import (
+    SimulationEngine,
+    StaticScheduleExecutor,
+    JustInTimeExecutor,
+    ExecutionTrace,
+    render_gantt,
+)
+from repro.generators import (
+    WorkflowCase,
+    RandomDAGParameters,
+    generate_random_case,
+    generate_blast_case,
+    generate_wien2k_case,
+    generate_montage_case,
+    sample_dag_case,
+    sample_dag_pool,
+)
+from repro.experiments import (
+    ExperimentCase,
+    CaseResult,
+    run_case,
+    sweep_random_parameter,
+    sweep_application_parameter,
+    improvement_rate,
+    render_improvement_table,
+    render_series,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # workflow
+    "Job",
+    "Workflow",
+    "CostModel",
+    "TabularCostModel",
+    "HeterogeneousCostModel",
+    "UniformCostModel",
+    "upward_ranks",
+    "critical_path",
+    "parallelism_profile",
+    # resources
+    "Resource",
+    "ResourcePool",
+    "ResourceChangeModel",
+    "StaticResourceModel",
+    "ReservationBook",
+    # scheduling
+    "Assignment",
+    "Schedule",
+    "ExecutionState",
+    "JobStatus",
+    "HEFTScheduler",
+    "heft_schedule",
+    "AHEFTScheduler",
+    "aheft_reschedule",
+    "MinMinScheduler",
+    "validate_schedule",
+    # core
+    "Planner",
+    "Predictor",
+    "PerformanceHistoryRepository",
+    "AdaptiveReschedulingLoop",
+    "run_static",
+    "run_adaptive",
+    "run_dynamic",
+    "WhatIfAnalyzer",
+    # simulation
+    "SimulationEngine",
+    "StaticScheduleExecutor",
+    "JustInTimeExecutor",
+    "ExecutionTrace",
+    "render_gantt",
+    # generators
+    "WorkflowCase",
+    "RandomDAGParameters",
+    "generate_random_case",
+    "generate_blast_case",
+    "generate_wien2k_case",
+    "generate_montage_case",
+    "sample_dag_case",
+    "sample_dag_pool",
+    # experiments
+    "ExperimentCase",
+    "CaseResult",
+    "run_case",
+    "sweep_random_parameter",
+    "sweep_application_parameter",
+    "improvement_rate",
+    "render_improvement_table",
+    "render_series",
+]

@@ -1,0 +1,115 @@
+"""Run-time grid events and the Planner/Executor event channel.
+
+The paper's collaboration model (§3.2–3.3) has the Executor notify the
+Planner of "pre-defined events of interest":
+
+* **Resource pool change** — new resources discovered (or a predictable
+  failure/departure),
+* **Resource performance variance** — a job finishing significantly earlier
+  or later than its scheduled finish time,
+* **Workflow finished** — the terminating condition of the adaptive loop.
+
+Events are plain frozen dataclasses; :class:`EventBus` is a tiny synchronous
+publish/subscribe channel used by the Planner/Executor pair so that the
+collaboration is expressed with the same vocabulary as the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, DefaultDict, Dict, List, Tuple, Type
+
+__all__ = [
+    "GridEvent",
+    "ResourcePoolChangeEvent",
+    "PerformanceVarianceEvent",
+    "WorkflowFinishedEvent",
+    "EventBus",
+]
+
+
+@dataclass(frozen=True)
+class GridEvent:
+    """Base class of every run-time event (carries the logical time)."""
+
+    time: float
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class ResourcePoolChangeEvent(GridEvent):
+    """Resources joined and/or left the grid at ``time``."""
+
+    added: Tuple[str, ...] = ()
+    removed: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.added and not self.removed:
+            raise ValueError("a pool-change event must add or remove something")
+
+
+@dataclass(frozen=True)
+class PerformanceVarianceEvent(GridEvent):
+    """A job's actual finish deviated from its scheduled finish.
+
+    ``relative_deviation`` is positive when the job ran *longer* than
+    scheduled.  The Planner typically reacts only when the absolute
+    deviation exceeds a threshold.
+    """
+
+    job_id: str = ""
+    scheduled_finish: float = 0.0
+    actual_finish: float = 0.0
+
+    @property
+    def deviation(self) -> float:
+        return self.actual_finish - self.scheduled_finish
+
+    @property
+    def relative_deviation(self) -> float:
+        if self.scheduled_finish == 0:
+            return 0.0
+        return self.deviation / self.scheduled_finish
+
+
+@dataclass(frozen=True)
+class WorkflowFinishedEvent(GridEvent):
+    """The workflow completed; the adaptive loop terminates."""
+
+    makespan: float = 0.0
+
+
+class EventBus:
+    """Synchronous publish/subscribe channel between Executor and Planner."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[Type[GridEvent], List[Callable[[GridEvent], None]]] = {}
+        self._log: List[GridEvent] = []
+
+    def subscribe(
+        self, event_type: Type[GridEvent], handler: Callable[[GridEvent], None]
+    ) -> None:
+        """Register ``handler`` for events of ``event_type`` (and subclasses)."""
+        self._subscribers.setdefault(event_type, []).append(handler)
+
+    def publish(self, event: GridEvent) -> int:
+        """Deliver ``event`` to matching subscribers; returns delivery count."""
+        self._log.append(event)
+        delivered = 0
+        for event_type, handlers in self._subscribers.items():
+            if isinstance(event, event_type):
+                for handler in handlers:
+                    handler(event)
+                    delivered += 1
+        return delivered
+
+    @property
+    def log(self) -> List[GridEvent]:
+        """Every event ever published, in publication order."""
+        return list(self._log)
+
+    def events_of(self, event_type: Type[GridEvent]) -> List[GridEvent]:
+        return [event for event in self._log if isinstance(event, event_type)]

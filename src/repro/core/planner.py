@@ -1,0 +1,239 @@
+"""The Planner component and its per-workflow Scheduler instances.
+
+Paper §3.2: *"For each workflow application represented as a DAG, the
+Planner instantiates a Scheduler instance.  Based on the performance history
+and resource availability, the Scheduler inquires the Predictor to estimate
+the communication and computation cost with the given resource set.  It then
+decides on resource mapping ... and submits the schedule to the Executor.
+During the execution, the Scheduler instance listens to the pre-defined
+events of interest ... evaluates the event and reschedules the application
+if necessary."*
+
+:class:`Planner` manages the shared Performance History Repository and
+Predictor and creates one :class:`WorkflowPlan` per submitted DAG.  The
+``WorkflowPlan`` owns the current schedule, reacts to
+:class:`~repro.core.events.GridEvent` notifications with the
+accept-if-better rule, and feeds completed-job observations back into the
+history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.events import (
+    EventBus,
+    GridEvent,
+    PerformanceVarianceEvent,
+    ResourcePoolChangeEvent,
+)
+from repro.core.history import PerformanceHistoryRepository
+from repro.core.predictor import Predictor
+from repro.resources.pool import ResourcePool
+from repro.scheduling.aheft import AHEFTScheduler
+from repro.scheduling.base import ExecutionState, Schedule, TIME_EPS
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = ["PlannerDecision", "WorkflowPlan", "Planner"]
+
+
+@dataclass(frozen=True)
+class PlannerDecision:
+    """Outcome of the Planner evaluating one event for one workflow."""
+
+    event: GridEvent
+    previous_makespan: float
+    candidate_makespan: float
+    adopted: bool
+    schedule: Schedule
+
+    @property
+    def predicted_gain(self) -> float:
+        return self.previous_makespan - self.candidate_makespan
+
+
+class WorkflowPlan:
+    """The Scheduler instance the Planner creates per DAG (paper §3.2)."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        prior_costs: CostModel,
+        pool: ResourcePool,
+        *,
+        predictor: Predictor,
+        history: PerformanceHistoryRepository,
+        scheduler: Optional[AHEFTScheduler] = None,
+        variance_threshold: float = 0.10,
+        epsilon: float = 1e-9,
+    ) -> None:
+        self.workflow = workflow
+        self.prior_costs = prior_costs
+        self.pool = pool
+        self.predictor = predictor
+        self.history = history
+        self.scheduler = scheduler or AHEFTScheduler()
+        self.variance_threshold = float(variance_threshold)
+        self.epsilon = float(epsilon)
+        self.current_schedule: Optional[Schedule] = None
+        self.decisions: List[PlannerDecision] = []
+        self.execution_state = ExecutionState.initial(workflow.jobs)
+
+    # ------------------------------------------------------------------
+    def make_initial_schedule(self, *, clock: float = 0.0) -> Schedule:
+        """Plan the whole DAG on the currently available resources."""
+        resources = self.pool.available_at(clock)
+        if not resources:
+            raise ValueError(f"no resources available at time {clock}")
+        estimates = self.predictor.estimate(self.prior_costs)
+        self.current_schedule = self.scheduler.schedule(
+            self.workflow, estimates, resources
+        )
+        return self.current_schedule
+
+    # ------------------------------------------------------------------
+    def predicted_makespan(self) -> float:
+        if self.current_schedule is None:
+            raise RuntimeError("no schedule yet; call make_initial_schedule() first")
+        return self.current_schedule.makespan()
+
+    def is_finished(self) -> bool:
+        return self.execution_state.all_finished()
+
+    # ------------------------------------------------------------------
+    # Executor feedback
+    # ------------------------------------------------------------------
+    def record_job_started(self, job_id: str, resource_id: str, time: float) -> None:
+        self.execution_state.clock = max(self.execution_state.clock, time)
+        self.execution_state.record_start(job_id, resource_id, time)
+
+    def record_job_finished(self, job_id: str, time: float) -> None:
+        """Record completion and update the Performance History Repository."""
+        self.execution_state.clock = max(self.execution_state.clock, time)
+        self.execution_state.record_finish(job_id, time)
+        started = self.execution_state.actual_start[job_id]
+        resource = self.execution_state.executed_on[job_id]
+        self.history.record_execution(
+            self.workflow.job(job_id).operation,
+            resource,
+            duration=time - started,
+            job_id=job_id,
+            finished_at=time,
+        )
+
+    # ------------------------------------------------------------------
+    # event handling (the adaptive part)
+    # ------------------------------------------------------------------
+    def handle_event(
+        self,
+        event: GridEvent,
+        *,
+        execution_state: Optional[ExecutionState] = None,
+    ) -> PlannerDecision:
+        """Evaluate an event: reschedule the remaining jobs if it pays off."""
+        if self.current_schedule is None:
+            raise RuntimeError("cannot handle events before the initial schedule")
+        if isinstance(event, PerformanceVarianceEvent) and not self._significant(event):
+            decision = PlannerDecision(
+                event=event,
+                previous_makespan=self.current_schedule.makespan(),
+                candidate_makespan=self.current_schedule.makespan(),
+                adopted=False,
+                schedule=self.current_schedule,
+            )
+            self.decisions.append(decision)
+            return decision
+
+        clock = event.time
+        state = execution_state or ExecutionState.from_schedule(
+            self.current_schedule, clock, jobs=self.workflow.jobs
+        )
+        resources = self.pool.available_at(clock)
+        estimates = self.predictor.estimate(self.prior_costs)
+        candidate = self.scheduler.reschedule(
+            self.workflow,
+            estimates,
+            resources,
+            clock=clock,
+            previous_schedule=self.current_schedule,
+            execution_state=state,
+        )
+        previous_makespan = self.current_schedule.makespan()
+        adopted = candidate.makespan() < previous_makespan - self.epsilon
+        if adopted:
+            self.current_schedule = candidate
+        decision = PlannerDecision(
+            event=event,
+            previous_makespan=previous_makespan,
+            candidate_makespan=candidate.makespan(),
+            adopted=adopted,
+            schedule=self.current_schedule,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def _significant(self, event: PerformanceVarianceEvent) -> bool:
+        return abs(event.relative_deviation) >= self.variance_threshold
+
+
+class Planner:
+    """Top-level Planner: shared history/predictor, one plan per workflow."""
+
+    def __init__(
+        self,
+        *,
+        history: Optional[PerformanceHistoryRepository] = None,
+        predictor: Optional[Predictor] = None,
+        scheduler_factory=AHEFTScheduler,
+        event_bus: Optional[EventBus] = None,
+    ) -> None:
+        self.history = history or PerformanceHistoryRepository()
+        self.predictor = predictor or Predictor(self.history)
+        self.scheduler_factory = scheduler_factory
+        self.plans: Dict[str, WorkflowPlan] = {}
+        self.event_bus = event_bus
+        if event_bus is not None:
+            event_bus.subscribe(ResourcePoolChangeEvent, self._on_event)
+            event_bus.subscribe(PerformanceVarianceEvent, self._on_event)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        workflow: Workflow,
+        prior_costs: CostModel,
+        pool: ResourcePool,
+        **plan_kwargs,
+    ) -> WorkflowPlan:
+        """Register a workflow and produce its initial schedule."""
+        if workflow.name in self.plans:
+            raise ValueError(f"workflow {workflow.name!r} already submitted")
+        plan = WorkflowPlan(
+            workflow,
+            prior_costs,
+            pool,
+            predictor=self.predictor,
+            history=self.history,
+            scheduler=self.scheduler_factory(),
+            **plan_kwargs,
+        )
+        plan.make_initial_schedule()
+        self.plans[workflow.name] = plan
+        return plan
+
+    def plan_for(self, workflow_name: str) -> WorkflowPlan:
+        return self.plans[workflow_name]
+
+    def _on_event(self, event: GridEvent) -> None:
+        for plan in self.plans.values():
+            if not plan.is_finished() and plan.current_schedule is not None:
+                plan.handle_event(event)
+
+    # ------------------------------------------------------------------
+    def decisions(self) -> List[PlannerDecision]:
+        out: List[PlannerDecision] = []
+        for plan in self.plans.values():
+            out.extend(plan.decisions)
+        out.sort(key=lambda d: d.event.time)
+        return out

@@ -1,0 +1,113 @@
+"""The Predictor: producing the estimation matrix ``P`` (paper Fig. 1/2).
+
+The Predictor combines a *prior* cost model (what the user or the workflow
+description claims about job costs) with the Performance History Repository
+(what has actually been observed) to produce the estimates the Scheduler
+plans with.  With an empty history the Predictor returns the prior
+unchanged — which, under the paper's accurate-estimation assumption, is the
+common case in the headline experiments.  When history exists, per
+(operation, resource) observations override the prior, optionally blended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.history import PerformanceHistoryRepository
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = ["HistoryAdjustedCostModel", "Predictor"]
+
+
+class HistoryAdjustedCostModel(CostModel):
+    """A cost model that overrides a prior with observed history.
+
+    For a job whose operation has observations on the queried resource, the
+    estimate is ``blend · observed + (1 − blend) · prior``; with
+    ``blend = 1`` (default) the observation replaces the prior entirely.
+    Communication costs are taken from the prior unchanged (the paper's
+    history covers job performance, not network performance).
+    """
+
+    def __init__(
+        self,
+        prior: CostModel,
+        history: PerformanceHistoryRepository,
+        *,
+        blend: float = 1.0,
+        use_operation_average: bool = True,
+    ) -> None:
+        if not 0 <= blend <= 1:
+            raise ValueError("blend must be in [0, 1]")
+        self.workflow: Workflow = prior.workflow
+        self.prior = prior
+        self.history = history
+        self.blend = float(blend)
+        self.use_operation_average = bool(use_operation_average)
+
+    def _observed(self, job_id: str, resource_id: Optional[str]) -> Optional[float]:
+        operation = self.workflow.job(job_id).operation
+        observed = self.history.observed_duration(operation, resource_id)
+        if observed is None and self.use_operation_average and resource_id is not None:
+            observed = self.history.observed_duration(operation, None)
+        return observed
+
+    def computation_cost(self, job_id: str, resource_id: str) -> float:
+        prior = self.prior.computation_cost(job_id, resource_id)
+        observed = self._observed(job_id, resource_id)
+        if observed is None:
+            return prior
+        return self.blend * observed + (1.0 - self.blend) * prior
+
+    def intrinsic_average_computation_cost(self, job_id: str) -> float:
+        prior = self.prior.intrinsic_average_computation_cost(job_id)
+        observed = self._observed(job_id, None)
+        if observed is None:
+            return prior
+        return self.blend * observed + (1.0 - self.blend) * prior
+
+    def communication_cost(
+        self, src: str, dst: str, src_resource: str, dst_resource: str
+    ) -> float:
+        return self.prior.communication_cost(src, dst, src_resource, dst_resource)
+
+    def average_communication_cost(self, src: str, dst: str) -> float:
+        return self.prior.average_communication_cost(src, dst)
+
+
+@dataclass
+class Predictor:
+    """Builds the estimation matrix ``P = estimate(T, R)`` of paper Fig. 2.
+
+    Parameters
+    ----------
+    history:
+        The Performance History Repository shared with the Planner.
+    blend:
+        How strongly observations override the prior (1 = replace).
+    """
+
+    history: PerformanceHistoryRepository
+    blend: float = 1.0
+
+    def estimate(self, prior: CostModel) -> CostModel:
+        """Return the cost model the Scheduler should plan with."""
+        if len(self.history) == 0 or self.blend == 0:
+            return prior
+        return HistoryAdjustedCostModel(prior, self.history, blend=self.blend)
+
+    def estimation_matrix(
+        self, prior: CostModel, resources: Sequence[str]
+    ) -> "np.ndarray":
+        """The dense ``v × |R|`` matrix ``P`` (useful for inspection/tests)."""
+        model = self.estimate(prior)
+        workflow = prior.workflow
+        matrix = np.zeros((workflow.num_jobs, len(resources)))
+        for i, job in enumerate(workflow.jobs):
+            for j, resource in enumerate(resources):
+                matrix[i, j] = model.computation_cost(job, resource)
+        return matrix

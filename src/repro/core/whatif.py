@@ -1,0 +1,164 @@
+"""'What ... if ...' analysis of hypothetical resource changes.
+
+Paper §3.3 sketches this as future work: *"What will be the expected
+performance if an additional resource A is added (removed)?"*.  The
+evaluation machinery AHEFT already provides makes this straightforward —
+build the hypothetical resource set, reschedule the unfinished part of the
+workflow at the query time, and compare the predicted makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.resources.pool import ResourcePool
+from repro.resources.resource import Resource
+from repro.scheduling.aheft import AHEFTScheduler
+from repro.scheduling.base import ExecutionState, Schedule
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = ["WhatIfResult", "WhatIfAnalyzer"]
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Answer to a what-if query."""
+
+    query: str
+    time: float
+    baseline_makespan: float
+    predicted_makespan: float
+    schedule: Schedule
+
+    @property
+    def predicted_gain(self) -> float:
+        """Positive when the hypothetical change shortens the workflow."""
+        return self.baseline_makespan - self.predicted_makespan
+
+    @property
+    def relative_gain(self) -> float:
+        if self.baseline_makespan == 0:
+            return 0.0
+        return self.predicted_gain / self.baseline_makespan
+
+    @property
+    def is_beneficial(self) -> bool:
+        return self.predicted_gain > 0
+
+
+class WhatIfAnalyzer:
+    """Evaluate hypothetical resource additions/removals for a running DAG."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        pool: ResourcePool,
+        *,
+        scheduler: Optional[AHEFTScheduler] = None,
+    ) -> None:
+        self.workflow = workflow
+        self.costs = costs
+        self.pool = pool
+        self.scheduler = scheduler or AHEFTScheduler()
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        resources: Sequence[str],
+        *,
+        clock: float,
+        current_schedule: Schedule,
+        execution_state: Optional[ExecutionState],
+        query: str,
+    ) -> WhatIfResult:
+        state = execution_state or ExecutionState.from_schedule(
+            current_schedule, clock, jobs=self.workflow.jobs
+        )
+        candidate = self.scheduler.reschedule(
+            self.workflow,
+            self.costs,
+            resources,
+            clock=clock,
+            previous_schedule=current_schedule,
+            execution_state=state,
+        )
+        return WhatIfResult(
+            query=query,
+            time=clock,
+            baseline_makespan=current_schedule.makespan(),
+            predicted_makespan=candidate.makespan(),
+            schedule=candidate,
+        )
+
+    # ------------------------------------------------------------------
+    def if_resources_added(
+        self,
+        new_resources: Sequence[Resource],
+        *,
+        clock: float,
+        current_schedule: Schedule,
+        execution_state: Optional[ExecutionState] = None,
+    ) -> WhatIfResult:
+        """Predicted makespan if ``new_resources`` joined at ``clock``."""
+        if not new_resources:
+            raise ValueError("at least one hypothetical resource is required")
+        existing = self.pool.available_at(clock)
+        hypothetical = existing + [r.resource_id for r in new_resources]
+        names = ",".join(r.resource_id for r in new_resources)
+        return self._evaluate(
+            hypothetical,
+            clock=clock,
+            current_schedule=current_schedule,
+            execution_state=execution_state,
+            query=f"add {names} at {clock:g}",
+        )
+
+    def if_resources_removed(
+        self,
+        resource_ids: Sequence[str],
+        *,
+        clock: float,
+        current_schedule: Schedule,
+        execution_state: Optional[ExecutionState] = None,
+    ) -> WhatIfResult:
+        """Predicted makespan if ``resource_ids`` left the grid at ``clock``.
+
+        Jobs already finished or running on the removed resources keep their
+        history; only future placements avoid them.
+        """
+        removed = set(resource_ids)
+        remaining = [r for r in self.pool.available_at(clock) if r not in removed]
+        if not remaining:
+            raise ValueError("cannot remove every resource")
+        names = ",".join(sorted(removed))
+        return self._evaluate(
+            remaining,
+            clock=clock,
+            current_schedule=current_schedule,
+            execution_state=execution_state,
+            query=f"remove {names} at {clock:g}",
+        )
+
+    def rank_candidate_additions(
+        self,
+        candidates: Sequence[Resource],
+        *,
+        clock: float,
+        current_schedule: Schedule,
+    ) -> List[WhatIfResult]:
+        """Evaluate each candidate addition separately, best gain first.
+
+        Supports the proactive tuning use-case of §3.3: which single
+        additional resource would help this workflow the most right now?
+        """
+        results = [
+            self.if_resources_added(
+                [candidate], clock=clock, current_schedule=current_schedule
+            )
+            for candidate in candidates
+        ]
+        results.sort(key=lambda r: (-r.predicted_gain, r.query))
+        return results

@@ -1,0 +1,66 @@
+"""Experiment harness: the paper's evaluation (§4) as reusable code.
+
+* :mod:`~repro.experiments.config` — the parameter grids of Tables 2 and 5,
+* :mod:`~repro.experiments.runner` — run one case under the three
+  strategies (static HEFT, adaptive AHEFT, dynamic Min-Min),
+* :mod:`~repro.experiments.sweep` — parameter sweeps and aggregation,
+* :mod:`~repro.experiments.metrics` — makespan, improvement rate, SLR,
+  speedup, utilisation,
+* :mod:`~repro.experiments.reporting` — plain-text tables and series that
+  mirror the paper's tables and figures.
+"""
+
+from repro.experiments.config import (
+    RANDOM_DAG_GRID,
+    APPLICATION_GRID,
+    RandomExperimentConfig,
+    ApplicationExperimentConfig,
+)
+from repro.experiments.runner import CaseResult, ExperimentCase, run_case, STRATEGY_RUNNERS
+from repro.experiments.sweep import (
+    SweepPoint,
+    aggregate_results,
+    improvement_rate_by,
+    run_cases,
+    sweep_application_parameter,
+    sweep_random_parameter,
+)
+from repro.experiments.metrics import (
+    improvement_rate,
+    makespan_statistics,
+    schedule_length_ratio,
+    speedup,
+    average,
+)
+from repro.experiments.reporting import (
+    format_table,
+    render_improvement_table,
+    render_series,
+    render_case_results,
+)
+
+__all__ = [
+    "RANDOM_DAG_GRID",
+    "APPLICATION_GRID",
+    "RandomExperimentConfig",
+    "ApplicationExperimentConfig",
+    "CaseResult",
+    "ExperimentCase",
+    "run_case",
+    "STRATEGY_RUNNERS",
+    "SweepPoint",
+    "aggregate_results",
+    "improvement_rate_by",
+    "run_cases",
+    "sweep_application_parameter",
+    "sweep_random_parameter",
+    "improvement_rate",
+    "makespan_statistics",
+    "schedule_length_ratio",
+    "speedup",
+    "average",
+    "format_table",
+    "render_improvement_table",
+    "render_series",
+    "render_case_results",
+]

@@ -1,0 +1,132 @@
+"""Evaluation metrics.
+
+The paper reports average makespans and the *improvement rate* of AHEFT over
+HEFT.  This module also provides the standard DAG-scheduling metrics (SLR,
+speedup, utilisation) used in the broader literature and by the extension
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.scheduling.base import Schedule
+from repro.workflow.analysis import critical_path_length
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "average",
+    "improvement_rate",
+    "makespan_statistics",
+    "schedule_length_ratio",
+    "speedup",
+    "resource_utilisation",
+    "MakespanStatistics",
+]
+
+
+def average(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return float(np.mean(values))
+
+
+def improvement_rate(baseline: float, improved: float) -> float:
+    """Relative makespan reduction of ``improved`` over ``baseline``.
+
+    Matches the paper's "improvement rate": ``(HEFT − AHEFT) / HEFT``.
+    Returns 0 when the baseline is zero.
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline
+
+
+@dataclass(frozen=True)
+class MakespanStatistics:
+    """Summary statistics over a set of makespans."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return (
+            f"n={self.count}, mean={self.mean:.1f}, std={self.std:.1f}, "
+            f"min={self.minimum:.1f}, max={self.maximum:.1f}"
+        )
+
+
+def makespan_statistics(makespans: Sequence[float]) -> MakespanStatistics:
+    """Summarise a collection of makespans."""
+    if not makespans:
+        return MakespanStatistics(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
+    array = np.asarray(list(makespans), dtype=float)
+    return MakespanStatistics(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def schedule_length_ratio(
+    workflow: Workflow,
+    costs: CostModel,
+    makespan: float,
+    resources: Sequence[str],
+) -> float:
+    """SLR: makespan normalised by the minimum-cost critical path length.
+
+    An SLR of 1 would mean the schedule is as short as the critical path
+    executed on the fastest resources with free communication — the usual
+    lower-bound normalisation in the HEFT literature.
+    """
+    lower_bound = critical_path_length(
+        workflow,
+        costs,
+        resources,
+        include_communication=False,
+        minimum_costs=True,
+    )
+    if lower_bound <= 0:
+        return 0.0
+    return makespan / lower_bound
+
+
+def speedup(
+    workflow: Workflow,
+    costs: CostModel,
+    makespan: float,
+    resources: Sequence[str],
+) -> float:
+    """Sequential-execution time on the single best resource over the makespan."""
+    if makespan <= 0:
+        return 0.0
+    best_sequential = min(
+        sum(costs.computation_cost(job, rid) for job in workflow.jobs)
+        for rid in resources
+    )
+    return best_sequential / makespan
+
+
+def resource_utilisation(schedule: Schedule, resources: Sequence[str]) -> Dict[str, float]:
+    """Busy fraction of every resource over the schedule's makespan."""
+    span = schedule.makespan()
+    out: Dict[str, float] = {}
+    for rid in resources:
+        if span <= 0:
+            out[rid] = 0.0
+            continue
+        busy = sum(a.duration for a in schedule.assignments_on(rid))
+        out[rid] = busy / span
+    return out

@@ -1,0 +1,131 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows and series the paper reports:
+improvement-rate tables (Tables 3, 4, 7, 8), average-makespan tables
+(Table 6) and makespan-vs-parameter series (the six panels of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.runner import CaseResult
+from repro.experiments.sweep import SweepPoint
+
+__all__ = [
+    "format_table",
+    "render_improvement_table",
+    "render_series",
+    "render_case_results",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render an aligned plain-text table."""
+
+    def render_cell(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_improvement_table(
+    points: Sequence[SweepPoint],
+    *,
+    baseline: str = "HEFT",
+    improved: str = "AHEFT",
+    title: Optional[str] = None,
+    value_label: Optional[str] = None,
+) -> str:
+    """A Table 3/4/7/8-style row: parameter values vs improvement rate."""
+    if not points:
+        return "(no data)"
+    label = value_label or points[0].parameter
+    headers = [label] + [str(point.value) for point in points]
+    row = ["Imprv. rate"] + [
+        f"{100.0 * point.improvement(baseline, improved):.1f}%" for point in points
+    ]
+    table = format_table(headers, [row])
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def render_series(
+    series: Mapping[str, Sequence[SweepPoint]],
+    *,
+    strategies: Sequence[str] = ("HEFT", "AHEFT"),
+    title: Optional[str] = None,
+) -> str:
+    """A Fig. 8-style series table: one row per parameter value.
+
+    ``series`` maps a workload label (e.g. ``"BLAST"``, ``"WIEN2K"``) to its
+    sweep points; columns are ``<strategy><label>`` averages, mirroring the
+    paper's HEFT1/AHEFT1/HEFT2/AHEFT2 legend.
+    """
+    labels = list(series.keys())
+    if not labels:
+        return "(no data)"
+    reference = series[labels[0]]
+    parameter = reference[0].parameter if reference else "value"
+    headers = [parameter]
+    for index, label in enumerate(labels, start=1):
+        for strategy in strategies:
+            headers.append(f"{strategy}{index}({label})")
+    rows: List[List[object]] = []
+    for point_index, point in enumerate(reference):
+        row: List[object] = [point.value]
+        for label in labels:
+            labelled_point = series[label][point_index]
+            for strategy in strategies:
+                row.append(labelled_point.mean_makespans[strategy])
+        rows.append(row)
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def render_case_results(
+    results: Sequence[CaseResult],
+    *,
+    strategies: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """One row per case listing the makespans of every strategy."""
+    if not results:
+        return "(no data)"
+    strategies = list(strategies or results[0].strategies())
+    headers = ["case"] + list(strategies) + ["AHEFT vs HEFT"]
+    rows = []
+    for index, result in enumerate(results):
+        row: List[object] = [index]
+        for strategy in strategies:
+            row.append(result.makespans.get(strategy, float("nan")))
+        if "HEFT" in result.makespans and "AHEFT" in result.makespans:
+            row.append(f"{100.0 * result.improvement():.1f}%")
+        else:
+            row.append("-")
+        rows.append(row)
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table

@@ -1,0 +1,119 @@
+"""Run one experiment case under the competing strategies.
+
+A *case* is a priced workflow (:class:`~repro.generators.costs.WorkflowCase`)
+plus a resource-change model.  :func:`run_case` evaluates the strategies the
+paper compares — static HEFT, adaptive AHEFT and dynamic Min-Min — and
+returns their makespans together with the improvement rate of AHEFT over
+HEFT, which is the paper's headline metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.adaptive import AdaptiveRunResult, run_adaptive, run_dynamic, run_static
+from repro.experiments.metrics import improvement_rate
+from repro.generators.costs import WorkflowCase
+from repro.resources.dynamics import ResourceChangeModel, StaticResourceModel
+from repro.resources.pool import ResourcePool
+from repro.scheduling.aheft import AHEFTScheduler
+from repro.scheduling.baselines import MaxMinScheduler, SufferageScheduler
+from repro.scheduling.heft import HEFTScheduler
+from repro.scheduling.minmin import MinMinScheduler
+
+__all__ = ["ExperimentCase", "CaseResult", "run_case", "STRATEGY_RUNNERS"]
+
+#: strategy name -> runner(workflow, costs, pool) -> AdaptiveRunResult
+STRATEGY_RUNNERS: Dict[str, Callable] = {
+    "HEFT": lambda wf, costs, pool: run_static(wf, costs, pool, scheduler=HEFTScheduler()),
+    "AHEFT": lambda wf, costs, pool: run_adaptive(wf, costs, pool, scheduler=AHEFTScheduler()),
+    "MinMin": lambda wf, costs, pool: run_dynamic(wf, costs, pool, mapper=MinMinScheduler()),
+    "MaxMin": lambda wf, costs, pool: run_dynamic(wf, costs, pool, mapper=MaxMinScheduler()),
+    "Sufferage": lambda wf, costs, pool: run_dynamic(wf, costs, pool, mapper=SufferageScheduler()),
+    "AHEFT-always": lambda wf, costs, pool: run_adaptive(
+        wf, costs, pool, scheduler=AHEFTScheduler(), accept_only_if_better=False
+    ),
+}
+
+
+@dataclass
+class ExperimentCase:
+    """One workload instance paired with its resource dynamics."""
+
+    case: WorkflowCase
+    resource_model: ResourceChangeModel | StaticResourceModel
+    label: str = ""
+
+    def build_pool(self) -> ResourcePool:
+        return self.resource_model.build_pool()
+
+    def params(self) -> Dict[str, object]:
+        params = dict(self.case.params)
+        if isinstance(self.resource_model, ResourceChangeModel):
+            params.update(
+                {
+                    "resources": self.resource_model.initial_size,
+                    "interval": self.resource_model.interval,
+                    "fraction": self.resource_model.fraction,
+                }
+            )
+        else:
+            params.update({"resources": self.resource_model.size})
+        return params
+
+
+@dataclass
+class CaseResult:
+    """Makespans of every strategy on one case."""
+
+    params: Dict[str, object]
+    makespans: Dict[str, float]
+    rescheduling_counts: Dict[str, int] = field(default_factory=dict)
+
+    def makespan(self, strategy: str) -> float:
+        return self.makespans[strategy]
+
+    def improvement(self, baseline: str = "HEFT", improved: str = "AHEFT") -> float:
+        """Improvement rate of ``improved`` over ``baseline`` on this case."""
+        if baseline not in self.makespans or improved not in self.makespans:
+            raise KeyError(
+                f"strategies {baseline!r}/{improved!r} not present; "
+                f"available: {sorted(self.makespans)}"
+            )
+        return improvement_rate(self.makespans[baseline], self.makespans[improved])
+
+    def strategies(self) -> List[str]:
+        return list(self.makespans.keys())
+
+
+def run_case(
+    experiment: ExperimentCase,
+    *,
+    strategies: Sequence[str] = ("HEFT", "AHEFT"),
+    runners: Optional[Mapping[str, Callable]] = None,
+) -> CaseResult:
+    """Evaluate one case under the requested strategies.
+
+    Each strategy gets its own freshly built resource pool from the case's
+    resource model, so strategies never interfere with each other.
+    """
+    runners = dict(runners or STRATEGY_RUNNERS)
+    unknown = [s for s in strategies if s not in runners]
+    if unknown:
+        raise KeyError(f"unknown strategies: {unknown}; available: {sorted(runners)}")
+
+    makespans: Dict[str, float] = {}
+    rescheduling_counts: Dict[str, int] = {}
+    for strategy in strategies:
+        pool = experiment.build_pool()
+        result: AdaptiveRunResult = runners[strategy](
+            experiment.case.workflow, experiment.case.costs, pool
+        )
+        makespans[strategy] = result.makespan
+        rescheduling_counts[strategy] = result.rescheduling_count
+    return CaseResult(
+        params=experiment.params(),
+        makespans=makespans,
+        rescheduling_counts=rescheduling_counts,
+    )

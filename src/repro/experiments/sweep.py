@@ -1,0 +1,181 @@
+"""Parameter sweeps and aggregation.
+
+The paper's tables and figures all have the same shape: vary one parameter
+(CCR, number of jobs, β, initial pool size, Δ, δ), average the makespan of
+each strategy over many generated instances, and report either the average
+makespans (Fig. 8) or the improvement rate of AHEFT over HEFT (Tables 3, 4,
+7, 8).  :func:`sweep_random_parameter` and
+:func:`sweep_application_parameter` implement exactly that pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.experiments.config import (
+    ApplicationExperimentConfig,
+    RandomExperimentConfig,
+)
+from repro.experiments.metrics import average, improvement_rate
+from repro.experiments.runner import CaseResult, ExperimentCase, run_case
+
+__all__ = [
+    "SweepPoint",
+    "run_cases",
+    "aggregate_results",
+    "improvement_rate_by",
+    "sweep_random_parameter",
+    "sweep_application_parameter",
+]
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated result at one value of the swept parameter."""
+
+    parameter: str
+    value: object
+    mean_makespans: Dict[str, float]
+    case_count: int
+    results: List[CaseResult] = field(default_factory=list)
+
+    def improvement(self, baseline: str = "HEFT", improved: str = "AHEFT") -> float:
+        """Improvement rate computed on the averaged makespans (as the paper does)."""
+        return improvement_rate(
+            self.mean_makespans[baseline], self.mean_makespans[improved]
+        )
+
+
+def run_cases(
+    experiments: Iterable[ExperimentCase],
+    *,
+    strategies: Sequence[str] = ("HEFT", "AHEFT"),
+) -> List[CaseResult]:
+    """Run every experiment case and collect the results."""
+    return [run_case(experiment, strategies=strategies) for experiment in experiments]
+
+
+def aggregate_results(
+    results: Sequence[CaseResult],
+    *,
+    group_key: str,
+) -> Dict[object, Dict[str, float]]:
+    """Mean makespan per strategy, grouped by one case parameter."""
+    grouped: Dict[object, List[CaseResult]] = {}
+    for result in results:
+        grouped.setdefault(result.params.get(group_key), []).append(result)
+    out: Dict[object, Dict[str, float]] = {}
+    for value, members in sorted(grouped.items(), key=lambda kv: str(kv[0])):
+        strategies = members[0].strategies()
+        out[value] = {
+            strategy: average(m.makespans[strategy] for m in members)
+            for strategy in strategies
+        }
+    return out
+
+
+def improvement_rate_by(
+    results: Sequence[CaseResult],
+    *,
+    group_key: str,
+    baseline: str = "HEFT",
+    improved: str = "AHEFT",
+) -> Dict[object, float]:
+    """Improvement rate of averaged makespans, grouped by one parameter."""
+    aggregated = aggregate_results(results, group_key=group_key)
+    return {
+        value: improvement_rate(means[baseline], means[improved])
+        for value, means in aggregated.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# one-parameter sweeps
+# ----------------------------------------------------------------------
+def _sweep(
+    configs_for_value: Callable[[object, int], List],
+    parameter: str,
+    values: Sequence[object],
+    *,
+    instances: int,
+    strategies: Sequence[str],
+) -> List[SweepPoint]:
+    points: List[SweepPoint] = []
+    for value in values:
+        experiments: List[ExperimentCase] = []
+        for config in configs_for_value(value, instances):
+            experiments.append(
+                ExperimentCase(
+                    case=config.build_case(),
+                    resource_model=config.build_resource_model(),
+                )
+            )
+        results = run_cases(experiments, strategies=strategies)
+        mean_makespans = {
+            strategy: average(result.makespans[strategy] for result in results)
+            for strategy in strategies
+        }
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                value=value,
+                mean_makespans=mean_makespans,
+                case_count=len(results),
+                results=results,
+            )
+        )
+    return points
+
+
+def sweep_random_parameter(
+    parameter: str,
+    values: Sequence[object],
+    *,
+    base_config: Optional[RandomExperimentConfig] = None,
+    instances: int = 3,
+    strategies: Sequence[str] = ("HEFT", "AHEFT"),
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Sweep one Table 2 parameter on random DAGs, averaging over instances."""
+    base = base_config or RandomExperimentConfig(seed=seed)
+    if not hasattr(base, parameter):
+        raise ValueError(f"unknown random-DAG parameter: {parameter!r}")
+
+    def configs_for_value(value, count):
+        return [
+            replace(base, **{parameter: value}, instance=i, seed=seed + i)
+            for i in range(count)
+        ]
+
+    return _sweep(
+        configs_for_value, parameter, values, instances=instances, strategies=strategies
+    )
+
+
+def sweep_application_parameter(
+    application: str,
+    parameter: str,
+    values: Sequence[object],
+    *,
+    base_config: Optional[ApplicationExperimentConfig] = None,
+    instances: int = 3,
+    strategies: Sequence[str] = ("HEFT", "AHEFT"),
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Sweep one Table 5 parameter on an application DAG (BLAST/WIEN2K/Montage)."""
+    base = base_config or ApplicationExperimentConfig(application=application, seed=seed)
+    if base.application != application:
+        base = replace(base, application=application)
+    if not hasattr(base, parameter):
+        raise ValueError(f"unknown application parameter: {parameter!r}")
+
+    def configs_for_value(value, count):
+        return [
+            replace(base, **{parameter: value}, instance=i, seed=seed + i)
+            for i in range(count)
+        ]
+
+    return _sweep(
+        configs_for_value, parameter, values, instances=instances, strategies=strategies
+    )

@@ -1,0 +1,47 @@
+"""Workflow generators used by the paper's evaluation.
+
+* :mod:`~repro.generators.random_dag` — the Topcuoglu-style parametric
+  random DAG generator (ν, out_degree, CCR, β) of §4.2,
+* :mod:`~repro.generators.blast` — the six-step BLAST workflow shape with
+  N-way parallelism (Fig. 6),
+* :mod:`~repro.generators.wien2k` — the full-balanced WIEN2K workflow with
+  its two parallel LAPW sections joined by ``LAPW2_FERMI`` (Fig. 7),
+* :mod:`~repro.generators.montage` — a Montage-shaped workflow (named in
+  §4.3 as another well-balanced application; extension),
+* :mod:`~repro.generators.sample` — the worked 10-job example of Fig. 4
+  (the classic HEFT example plus a fourth resource joining at t=15),
+* :mod:`~repro.generators.costs` — cost assignment shared by all
+  generators (ω_DAG, β heterogeneity, CCR-calibrated edge data).
+"""
+
+from repro.generators.costs import WorkflowCase, assign_edge_data, build_case, draw_base_costs
+from repro.generators.random_dag import RandomDAGParameters, generate_random_dag, generate_random_case
+from repro.generators.blast import generate_blast_workflow, generate_blast_case
+from repro.generators.wien2k import generate_wien2k_workflow, generate_wien2k_case
+from repro.generators.montage import generate_montage_workflow, generate_montage_case
+from repro.generators.sample import (
+    sample_dag_workflow,
+    sample_dag_cost_model,
+    sample_dag_pool,
+    sample_dag_case,
+)
+
+__all__ = [
+    "WorkflowCase",
+    "assign_edge_data",
+    "build_case",
+    "draw_base_costs",
+    "RandomDAGParameters",
+    "generate_random_dag",
+    "generate_random_case",
+    "generate_blast_workflow",
+    "generate_blast_case",
+    "generate_wien2k_workflow",
+    "generate_wien2k_case",
+    "generate_montage_workflow",
+    "generate_montage_case",
+    "sample_dag_workflow",
+    "sample_dag_cost_model",
+    "sample_dag_pool",
+    "sample_dag_case",
+]

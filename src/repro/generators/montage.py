@@ -1,0 +1,99 @@
+"""Montage workflow generator.
+
+Montage (astronomical image mosaicking) is named by the paper (§4.3)
+alongside BLAST and WIEN2K as a well-balanced, highly parallel scientific
+workflow built from a small set of unique executables (11 in the real
+system).  It is included as an extension workload for the harness; the
+shape follows the standard Montage structure:
+
+::
+
+    { mProject_i }  (N parallel re-projections)
+        → { mDiffFit_j }  (overlap fits, ~N parallel)
+            → mConcatFit → mBgModel
+                → { mBackground_i }  (N parallel corrections)
+                    → mImgtbl → mAdd → mShrink → mJPEG
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.generators.costs import WorkflowCase, build_case
+from repro.workflow.dag import Workflow
+
+__all__ = ["generate_montage_workflow", "generate_montage_case"]
+
+
+def generate_montage_workflow(parallelism: int, *, name: Optional[str] = None) -> Workflow:
+    """Build a Montage-shaped DAG with ``parallelism`` input images."""
+    if parallelism < 2:
+        raise ValueError("parallelism must be at least 2")
+    workflow = Workflow(name or f"montage-{parallelism}")
+
+    projects = []
+    for i in range(1, parallelism + 1):
+        job_id = f"mproject_{i}"
+        workflow.add_job(job_id, operation="mProject", image=i)
+        projects.append(job_id)
+
+    # overlap fits: neighbouring projections pairwise (ring of N overlaps)
+    difffits = []
+    for i in range(1, parallelism + 1):
+        job_id = f"mdifffit_{i}"
+        workflow.add_job(job_id, operation="mDiffFit", overlap=i)
+        difffits.append(job_id)
+        left = projects[i - 1]
+        right = projects[i % parallelism]
+        workflow.add_edge(left, job_id, data=0.0)
+        if right != left:
+            workflow.add_edge(right, job_id, data=0.0)
+
+    workflow.add_job("mconcatfit", operation="mConcatFit")
+    for job_id in difffits:
+        workflow.add_edge(job_id, "mconcatfit", data=0.0)
+
+    workflow.add_job("mbgmodel", operation="mBgModel")
+    workflow.add_edge("mconcatfit", "mbgmodel", data=0.0)
+
+    backgrounds = []
+    for i in range(1, parallelism + 1):
+        job_id = f"mbackground_{i}"
+        workflow.add_job(job_id, operation="mBackground", image=i)
+        backgrounds.append(job_id)
+        workflow.add_edge("mbgmodel", job_id, data=0.0)
+        workflow.add_edge(projects[i - 1], job_id, data=0.0)
+
+    tail = ["mimgtbl", "madd", "mshrink", "mjpeg"]
+    operations = ["mImgtbl", "mAdd", "mShrink", "mJPEG"]
+    for job_id, op in zip(tail, operations):
+        workflow.add_job(job_id, operation=op)
+    for job_id in backgrounds:
+        workflow.add_edge(job_id, tail[0], data=0.0)
+    for first, second in zip(tail, tail[1:]):
+        workflow.add_edge(first, second, data=0.0)
+
+    workflow.validate()
+    return workflow
+
+
+def generate_montage_case(
+    parallelism: int,
+    *,
+    ccr: float = 1.0,
+    beta: float = 0.5,
+    omega_dag: float = 50.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> WorkflowCase:
+    """Generate a priced Montage case (per-operation base costs)."""
+    workflow = generate_montage_workflow(parallelism, name=name)
+    return build_case(
+        workflow,
+        ccr=ccr,
+        beta=beta,
+        omega_dag=omega_dag,
+        seed=seed,
+        per_operation=True,
+        params={"generator": "montage", "parallelism": parallelism},
+    )

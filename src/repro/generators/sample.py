@@ -1,0 +1,105 @@
+"""The worked example of paper Fig. 4/5.
+
+The sample DAG is the classic 10-job HEFT example (Topcuoglu et al., Fig. 2
+of the HEFT paper) extended with a fourth resource column, exactly as the
+paper's Fig. 4 tabulates it.  Resources ``r1``–``r3`` are available from the
+start; ``r4`` joins the grid at time 15.
+
+The paper reports: traditional HEFT produces a schedule with makespan 80 on
+``r1``–``r3``; AHEFT, rescheduling when ``r4`` appears at t=15, reduces the
+makespan to 76 (Fig. 5).  The regression tests and the
+``bench_fig5_sample_dag`` benchmark reproduce both numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.generators.costs import WorkflowCase
+from repro.resources.pool import ResourcePool
+from repro.resources.resource import Resource
+from repro.workflow.costs import TabularCostModel
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "sample_dag_workflow",
+    "sample_dag_cost_model",
+    "sample_dag_pool",
+    "sample_dag_case",
+    "SAMPLE_COMPUTATION_COSTS",
+    "SAMPLE_EDGES",
+    "R4_JOIN_TIME",
+]
+
+#: Time at which the fourth resource appears (paper Fig. 5(b)).
+R4_JOIN_TIME = 15.0
+
+#: Computation cost of each job on each resource (paper Fig. 4, right table).
+SAMPLE_COMPUTATION_COSTS: Dict[str, Dict[str, float]] = {
+    "n1": {"r1": 14, "r2": 16, "r3": 9, "r4": 14},
+    "n2": {"r1": 13, "r2": 19, "r3": 18, "r4": 17},
+    "n3": {"r1": 11, "r2": 13, "r3": 19, "r4": 14},
+    "n4": {"r1": 13, "r2": 8, "r3": 17, "r4": 15},
+    "n5": {"r1": 12, "r2": 13, "r3": 10, "r4": 14},
+    "n6": {"r1": 13, "r2": 16, "r3": 9, "r4": 16},
+    "n7": {"r1": 7, "r2": 15, "r3": 11, "r4": 15},
+    "n8": {"r1": 5, "r2": 11, "r3": 14, "r4": 20},
+    "n9": {"r1": 18, "r2": 12, "r3": 20, "r4": 13},
+    "n10": {"r1": 21, "r2": 7, "r3": 16, "r4": 15},
+}
+
+#: Edges of the sample DAG with their communication costs (paper Fig. 4, left).
+SAMPLE_EDGES: Tuple[Tuple[str, str, float], ...] = (
+    ("n1", "n2", 18),
+    ("n1", "n3", 12),
+    ("n1", "n4", 9),
+    ("n1", "n5", 11),
+    ("n1", "n6", 14),
+    ("n2", "n8", 19),
+    ("n2", "n9", 16),
+    ("n3", "n7", 23),
+    ("n4", "n8", 27),
+    ("n4", "n9", 23),
+    ("n5", "n9", 13),
+    ("n6", "n8", 15),
+    ("n7", "n10", 17),
+    ("n8", "n10", 11),
+    ("n9", "n10", 13),
+)
+
+
+def sample_dag_workflow() -> Workflow:
+    """The 10-job sample DAG of paper Fig. 4."""
+    workflow = Workflow("sample-fig4")
+    for job_id in SAMPLE_COMPUTATION_COSTS:
+        workflow.add_job(job_id)
+    for src, dst, cost in SAMPLE_EDGES:
+        workflow.add_edge(src, dst, data=float(cost))
+    workflow.validate()
+    return workflow
+
+
+def sample_dag_cost_model(workflow: Workflow | None = None) -> TabularCostModel:
+    """The tabulated cost model of paper Fig. 4 (all four resources)."""
+    workflow = workflow or sample_dag_workflow()
+    return TabularCostModel(workflow, SAMPLE_COMPUTATION_COSTS)
+
+
+def sample_dag_pool(*, r4_join_time: float = R4_JOIN_TIME) -> ResourcePool:
+    """Three initial resources plus ``r4`` joining at ``r4_join_time``."""
+    pool = ResourcePool()
+    pool.add(Resource("r1"))
+    pool.add(Resource("r2"))
+    pool.add(Resource("r3"))
+    pool.add(Resource("r4", available_from=r4_join_time))
+    return pool
+
+
+def sample_dag_case() -> WorkflowCase:
+    """The sample DAG bundled as a :class:`WorkflowCase`."""
+    workflow = sample_dag_workflow()
+    return WorkflowCase(
+        workflow=workflow,
+        costs=sample_dag_cost_model(workflow),
+        params={"generator": "sample-fig4", "r4_join_time": R4_JOIN_TIME},
+    )

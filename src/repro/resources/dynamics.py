@@ -1,0 +1,168 @@
+"""Resource-pool dynamics: the paper's (R, Δ, δ) change model.
+
+Paper §4.2 models grid dynamics with three parameters:
+
+* ``R`` — initial resource pool size,
+* ``Δ`` (``interval``) — time between resource-pool changes; larger Δ means
+  a less dynamic grid,
+* ``δ`` (``fraction``) — the fraction of the *initial* pool size that joins
+  at each change event.
+
+Per the experiment-design assumptions (§4.1) only resource *additions* are
+exercised during execution; departures are supported by the data model (a
+``leave_fraction``) for extension studies but default to zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.resources.pool import ResourcePool
+from repro.resources.resource import Resource
+
+__all__ = ["ResourceChangeModel", "StaticResourceModel"]
+
+
+@dataclass(frozen=True)
+class ResourceChangeModel:
+    """Generator of dynamically growing resource pools.
+
+    Parameters
+    ----------
+    initial_size:
+        ``R`` — number of resources available at time 0.
+    interval:
+        ``Δ`` — logical time between consecutive change events.
+    fraction:
+        ``δ`` — each event adds ``ceil(δ · R)`` new resources.
+    max_events:
+        Number of change events to materialise.  The executor stops
+        consuming events once the workflow finishes, so this only needs to
+        exceed ``makespan / Δ``; the default (64) is generous for every
+        configuration in the paper.
+    leave_fraction:
+        Optional fraction of the initial pool that *leaves* at each event
+        (0 reproduces the paper's evaluation).
+    name_prefix:
+        Prefix for generated resource identifiers.
+    """
+
+    initial_size: int
+    interval: float
+    fraction: float
+    max_events: int = 64
+    leave_fraction: float = 0.0
+    name_prefix: str = "r"
+
+    def __post_init__(self) -> None:
+        if self.initial_size <= 0:
+            raise ValueError("initial_size must be positive")
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.fraction < 0:
+            raise ValueError("fraction must be non-negative")
+        if self.leave_fraction < 0 or self.leave_fraction > 1:
+            raise ValueError("leave_fraction must be in [0, 1]")
+        if self.max_events < 0:
+            raise ValueError("max_events must be non-negative")
+
+    @property
+    def added_per_event(self) -> int:
+        """Number of resources joining at each change event: ``ceil(δ·R)``."""
+        if self.fraction == 0:
+            return 0
+        return max(1, math.ceil(self.fraction * self.initial_size))
+
+    @property
+    def removed_per_event(self) -> int:
+        if self.leave_fraction == 0:
+            return 0
+        return max(1, math.ceil(self.leave_fraction * self.initial_size))
+
+    def build_pool(self) -> ResourcePool:
+        """Materialise the pool: R initial resources plus joins every Δ.
+
+        Resource identifiers are ``r1..rR`` for the initial pool and
+        ``rR+1, …`` for later arrivals, tagged with the event index in their
+        metadata.  Removals (if ``leave_fraction > 0``) retire the oldest
+        still-present initial resources, mirroring a grid where the original
+        donation expires.
+        """
+        pool = ResourcePool()
+        counter = 0
+        for _ in range(self.initial_size):
+            counter += 1
+            pool.add(Resource(f"{self.name_prefix}{counter}", available_from=0.0))
+
+        removable = [f"{self.name_prefix}{i + 1}" for i in range(self.initial_size)]
+        removed: set[str] = set()
+        for event_index in range(1, self.max_events + 1):
+            when = event_index * self.interval
+            for _ in range(self.added_per_event):
+                counter += 1
+                pool.add(
+                    Resource(
+                        f"{self.name_prefix}{counter}",
+                        available_from=when,
+                        metadata={"event_index": event_index},
+                    )
+                )
+            # Departures are an extension hook; they replace still-available
+            # initial resources with a bounded availability window.
+            for _ in range(self.removed_per_event):
+                candidates = [rid for rid in removable if rid not in removed]
+                if not candidates:
+                    break
+                victim = candidates[0]
+                removed.add(victim)
+        if removed:
+            # Rebuild the pool with availability windows on the victims.
+            rebuilt = ResourcePool()
+            for rid in pool.all_resource_ids():
+                res = pool.resource(rid)
+                if rid in removed:
+                    # retire after the first event following its join
+                    leave_at = max(res.available_from + self.interval, self.interval)
+                    rebuilt.add(
+                        Resource(
+                            rid,
+                            available_from=res.available_from,
+                            available_until=leave_at,
+                            site=res.site,
+                            metadata=dict(res.metadata),
+                        )
+                    )
+                else:
+                    rebuilt.add(res)
+            return rebuilt
+        return pool
+
+    def describe(self) -> str:
+        """One-line human readable description (used by experiment reports)."""
+        return (
+            f"R={self.initial_size}, Δ={self.interval:g}, δ={self.fraction:g}"
+            + (f", leave={self.leave_fraction:g}" if self.leave_fraction else "")
+        )
+
+
+@dataclass(frozen=True)
+class StaticResourceModel:
+    """A pool that never changes — the classic static-scheduling world view."""
+
+    size: int
+    name_prefix: str = "r"
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+    def build_pool(self) -> ResourcePool:
+        pool = ResourcePool()
+        for index in range(self.size):
+            pool.add(Resource(f"{self.name_prefix}{index + 1}", available_from=0.0))
+        return pool
+
+    def describe(self) -> str:
+        return f"R={self.size} (static)"

@@ -1,0 +1,169 @@
+"""Advance resource reservations.
+
+The paper assumes the Executor supports advance reservation (§3.2, §4.1
+assumption 3): when a schedule arrives, the Resource Manager reserves the
+mapped resources for the scheduled windows; when a *rescheduled* plan
+arrives, the reservations of the replaced plan are revoked before the new
+ones are made.  :class:`ReservationBook` implements exactly that contract
+and detects conflicting reservations, which the tests use as an invariant
+(two jobs must never hold overlapping reservations on one resource).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Reservation", "ReservationBook", "ReservationConflict"]
+
+
+class ReservationConflict(RuntimeError):
+    """Raised when a requested reservation overlaps an existing one."""
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A half-open reservation ``[start, end)`` of a resource for a job."""
+
+    resource_id: str
+    job_id: str
+    start: float
+    end: float
+    plan_id: str = "plan-0"
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("reservation end must not precede start")
+
+    def overlaps(self, other: "Reservation") -> bool:
+        """``True`` if the two reservations share a resource and overlap in time.
+
+        Zero-length reservations never overlap anything.
+        """
+        if self.resource_id != other.resource_id:
+            return False
+        if self.start == self.end or other.start == other.end:
+            return False
+        return self.start < other.end and other.start < self.end
+
+
+class ReservationBook:
+    """Registry of reservations with conflict detection and plan revocation."""
+
+    def __init__(self) -> None:
+        self._by_resource: Dict[str, List[Reservation]] = {}
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def reserve(self, reservation: Reservation, *, allow_conflict: bool = False) -> Reservation:
+        """Add a reservation.
+
+        Raises
+        ------
+        ReservationConflict
+            If it overlaps an existing reservation on the same resource and
+            ``allow_conflict`` is False.
+        """
+        existing = self._by_resource.setdefault(reservation.resource_id, [])
+        if not allow_conflict:
+            for other in existing:
+                if reservation.overlaps(other):
+                    raise ReservationConflict(
+                        f"{reservation} conflicts with existing {other}"
+                    )
+        existing.append(reservation)
+        existing.sort(key=lambda r: (r.start, r.end, r.job_id))
+        return reservation
+
+    def reserve_schedule(
+        self,
+        assignments: Iterable[Tuple[str, str, float, float]],
+        *,
+        plan_id: str,
+    ) -> List[Reservation]:
+        """Reserve ``(job, resource, start, end)`` tuples under one plan id."""
+        made: List[Reservation] = []
+        for job_id, resource_id, start, end in assignments:
+            made.append(
+                self.reserve(
+                    Reservation(
+                        resource_id=resource_id,
+                        job_id=job_id,
+                        start=start,
+                        end=end,
+                        plan_id=plan_id,
+                    )
+                )
+            )
+        return made
+
+    def revoke_plan(self, plan_id: str, *, after: Optional[float] = None) -> int:
+        """Remove reservations of ``plan_id``; returns the number removed.
+
+        With ``after`` set, only reservations *starting* at or after that
+        time are revoked — reservations of already-started jobs are kept,
+        matching the Resource Manager behaviour when a rescheduled plan
+        replaces a partially executed one (paper §3.2).
+        """
+        removed = 0
+        for resource_id in list(self._by_resource):
+            kept: List[Reservation] = []
+            for reservation in self._by_resource[resource_id]:
+                if reservation.plan_id == plan_id and (
+                    after is None or reservation.start >= after
+                ):
+                    removed += 1
+                else:
+                    kept.append(reservation)
+            self._by_resource[resource_id] = kept
+        return removed
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def reservations(self, resource_id: Optional[str] = None) -> List[Reservation]:
+        if resource_id is not None:
+            return list(self._by_resource.get(resource_id, []))
+        out: List[Reservation] = []
+        for reservations in self._by_resource.values():
+            out.extend(reservations)
+        out.sort(key=lambda r: (r.start, r.resource_id, r.job_id))
+        return out
+
+    def reservations_for_plan(self, plan_id: str) -> List[Reservation]:
+        return [r for r in self.reservations() if r.plan_id == plan_id]
+
+    def has_conflicts(self) -> bool:
+        """``True`` if any two reservations on one resource overlap."""
+        return bool(self.conflicts())
+
+    def conflicts(self) -> List[Tuple[Reservation, Reservation]]:
+        """All pairwise overlapping reservations (per resource)."""
+        found: List[Tuple[Reservation, Reservation]] = []
+        for reservations in self._by_resource.values():
+            for i, first in enumerate(reservations):
+                for second in reservations[i + 1 :]:
+                    if second.start >= first.end:
+                        break
+                    if first.overlaps(second):
+                        found.append((first, second))
+        return found
+
+    def utilisation(self, resource_id: str, horizon: float) -> float:
+        """Fraction of ``[0, horizon)`` covered by reservations of a resource."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        intervals = sorted(
+            (max(0.0, r.start), min(horizon, r.end))
+            for r in self._by_resource.get(resource_id, [])
+            if r.end > 0 and r.start < horizon
+        )
+        covered = 0.0
+        cursor = 0.0
+        for start, end in intervals:
+            start = max(start, cursor)
+            if end > start:
+                covered += end - start
+                cursor = end
+        return covered / horizon

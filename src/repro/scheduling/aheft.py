@@ -1,0 +1,309 @@
+"""AHEFT — the paper's HEFT-based adaptive rescheduling algorithm (§3.4).
+
+AHEFT recomputes an HEFT-style mapping for the *unfinished* part of a
+workflow at an arbitrary time ``clock`` during its execution, taking into
+account
+
+* which jobs already finished (their actual finish times AFT and the
+  resources holding their outputs),
+* which jobs are currently running,
+* which output transfers the Executor has already initiated under the
+  previous schedule ``S0``,
+* the resource pool *currently* available — including resources that joined
+  after the previous schedule was made (the event that motivates the paper).
+
+The placement rule is HEFT's minimum-EFT rule; the difference is how the
+earliest start time is computed for a partially executed workflow, which is
+exactly Equations (1)–(3) of the paper:
+
+``FEA(n_m, n_i, r_j, S0, clock)`` — earliest time the output of predecessor
+``n_m`` is available on candidate resource ``r_j``:
+
+* **Case 1** — ``n_m`` finished on ``r_j``: the data is already local,
+  ``FEA = AFT(n_m)``.
+* **Case 2** — ``n_m`` finished elsewhere and its output is *not* (being)
+  transferred to ``r_j``: the transfer can only start now,
+  ``FEA = clock + c_{m,i}``.
+* **Case 3** — ``n_m`` is unfinished and mapped to ``r_j`` (either pinned
+  there because it is running, or placed there earlier in this very
+  rescheduling pass): ``FEA = SFT(n_m)``.
+* **otherwise** — ``n_m`` is unfinished and mapped to a different resource:
+  ``FEA = SFT(n_m) + c_{m,i}``.
+
+When ``clock == 0`` and no job has executed, every predecessor falls into
+Case 3 / otherwise and AHEFT reduces to plain HEFT — the identity the paper
+notes in §3.4 and that the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.scheduling.base import (
+    Assignment,
+    ExecutionState,
+    JobStatus,
+    ResourceTimeline,
+    Schedule,
+    TIME_EPS,
+)
+from repro.scheduling.heft import heft_priority_order
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = ["aheft_reschedule", "AHEFTScheduler"]
+
+
+def _scheduled_transfer_arrival(
+    pred: str,
+    job: str,
+    candidate_resource: str,
+    costs: CostModel,
+    previous_schedule: Optional[Schedule],
+    state: ExecutionState,
+) -> Optional[float]:
+    """Arrival time of the ``pred -> job`` data on ``candidate_resource`` if
+    its transfer was already initiated under the previous schedule.
+
+    Under the static-strategy file-transfer rule (paper §4.1 assumption 2)
+    the Executor ships the edge's data immediately on ``pred``'s completion
+    to the resource where ``job`` was scheduled in ``S0``.  If that resource
+    is the candidate resource, the transfer started at ``AFT(pred)`` and
+    arrives ``c_{pred,job}`` later.  Explicit arrivals recorded by the
+    Executor in the execution state take precedence.
+    """
+    recorded = state.data_available_at(pred, candidate_resource)
+    if recorded is not None:
+        return recorded
+    if previous_schedule is None:
+        return None
+    finish = state.actual_finish.get(pred)
+    if finish is None:
+        return None
+    old = previous_schedule.get(job)
+    if old is not None and old.resource_id == candidate_resource:
+        transfer = costs.communication_cost(
+            pred, job, state.executed_on[pred], candidate_resource
+        )
+        return finish + transfer
+    return None
+
+
+def aheft_reschedule(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Sequence[str],
+    *,
+    clock: float = 0.0,
+    previous_schedule: Optional[Schedule] = None,
+    execution_state: Optional[ExecutionState] = None,
+    insertion: bool = True,
+    respect_running: bool = True,
+    resource_available_from: Optional[Mapping[str, float]] = None,
+    name: str = "aheft",
+) -> Schedule:
+    """(Re)schedule a workflow at time ``clock`` with AHEFT.
+
+    Parameters
+    ----------
+    workflow, costs:
+        The DAG and the estimation matrix ``P`` (refreshed by the Predictor
+        before each call, paper Fig. 2 line 5).
+    resources:
+        The resources available **now** (set ``R`` after the pool update of
+        Fig. 2 line 3).
+    clock:
+        The logical time of the rescheduling decision.
+    previous_schedule:
+        The schedule ``S0`` currently being executed (None for the initial
+        scheduling, in which case AHEFT is identical to HEFT).
+    execution_state:
+        Snapshot of what has executed so far.  When omitted it is derived
+        from ``previous_schedule`` under the accurate-estimate assumption.
+    respect_running:
+        If True (default), jobs that already started keep their resource and
+        scheduled finish time; only not-started jobs are re-mapped.  If
+        False, running jobs are also re-mapped (they restart from ``clock``,
+        losing the work done so far).
+    resource_available_from:
+        Optional per-resource earliest usable time; defaults to ``clock``
+        for every resource.
+
+    Returns
+    -------
+    Schedule
+        A complete schedule containing the (actual) assignments of finished
+        and pinned jobs plus new assignments for every re-mapped job.  Its
+        :meth:`~repro.scheduling.base.Schedule.makespan` is the predicted
+        makespan used by the Planner's accept-if-better rule.
+    """
+    if not resources:
+        raise ValueError("cannot schedule on an empty resource set")
+    workflow.validate()
+    if clock < 0:
+        raise ValueError("clock must be non-negative")
+
+    if execution_state is None:
+        if previous_schedule is not None:
+            execution_state = ExecutionState.from_schedule(
+                previous_schedule, clock, jobs=workflow.jobs
+            )
+        else:
+            execution_state = ExecutionState.initial(workflow.jobs)
+    state = execution_state
+
+    # ------------------------------------------------------------------
+    # split jobs into pinned (finished / running-kept) and re-mappable
+    # ------------------------------------------------------------------
+    pinned: Dict[str, Assignment] = {}
+    for job in workflow.jobs:
+        status = state.job_status(job)
+        if status is JobStatus.FINISHED:
+            pinned[job] = Assignment(
+                job,
+                state.executed_on[job],
+                state.actual_start[job],
+                state.actual_finish[job],
+            )
+        elif status is JobStatus.RUNNING and respect_running:
+            if previous_schedule is not None and previous_schedule.get(job) is not None:
+                sft = previous_schedule.scheduled_finish_time(job)
+            else:
+                # Without S0 information fall back to the estimate from now.
+                sft = state.actual_start[job] + costs.computation_cost(
+                    job, state.executed_on[job]
+                )
+            pinned[job] = Assignment(
+                job, state.executed_on[job], state.actual_start[job], sft
+            )
+    to_schedule = [job for job in workflow.jobs if job not in pinned]
+
+    # ------------------------------------------------------------------
+    # resource timelines: pinned work occupies its interval; new work can
+    # only be placed at or after `clock` (and after the resource joined)
+    # ------------------------------------------------------------------
+    availability = resource_available_from or {}
+    timelines: Dict[str, ResourceTimeline] = {}
+    for rid in resources:
+        start = max(clock, float(availability.get(rid, clock)))
+        timelines[rid] = ResourceTimeline(rid, available_from=start)
+    for assignment in pinned.values():
+        timeline = timelines.get(assignment.resource_id)
+        if timeline is not None and assignment.finish > timeline.available_from:
+            timeline.occupy(assignment.start, assignment.finish, assignment.job_id)
+
+    schedule = Schedule(name=name)
+    schedule.extend(pinned.values())
+
+    # ------------------------------------------------------------------
+    # FEA of Eq. (1)
+    # ------------------------------------------------------------------
+    def fea(pred: str, job: str, rid: str) -> float:
+        if state.job_status(pred) is JobStatus.FINISHED:
+            executed_on = state.executed_on[pred]
+            finish = state.actual_finish[pred]
+            if executed_on == rid:
+                return finish  # Case 1
+            arrival = _scheduled_transfer_arrival(
+                pred, job, rid, costs, previous_schedule, state
+            )
+            if arrival is not None:
+                return arrival  # transfer already under way (or done)
+            comm = costs.communication_cost(pred, job, executed_on, rid)
+            return clock + comm  # Case 2
+        # Unfinished predecessor: it is either pinned (running) or already
+        # placed earlier in this pass (rank order guarantees this).
+        pred_assignment = schedule.get(pred)
+        if pred_assignment is None:
+            raise RuntimeError(
+                f"predecessor {pred!r} of {job!r} is neither executed nor "
+                "scheduled; the priority order is not topologically consistent"
+            )
+        if pred_assignment.resource_id == rid:
+            return pred_assignment.finish  # Case 3
+        comm = costs.communication_cost(pred, job, pred_assignment.resource_id, rid)
+        return pred_assignment.finish + comm  # otherwise
+
+    # ------------------------------------------------------------------
+    # HEFT placement of the re-mappable jobs in upward-rank order
+    # ------------------------------------------------------------------
+    to_schedule_set: Set[str] = set(to_schedule)
+    order = [
+        job
+        for job in heft_priority_order(workflow, costs, resources)
+        if job in to_schedule_set
+    ]
+    for job in order:
+        best: Optional[Assignment] = None
+        for rid in resources:
+            duration = costs.computation_cost(job, rid)
+            ready = clock
+            for pred in workflow.predecessors(job):
+                ready = max(ready, fea(pred, job, rid))
+            start = timelines[rid].earliest_start(ready, duration, insertion=insertion)
+            candidate = Assignment(job, rid, start, start + duration)
+            if best is None or candidate.finish < best.finish - TIME_EPS:
+                best = candidate
+        assert best is not None
+        timelines[best.resource_id].occupy(best.start, best.finish, job)
+        schedule.add(best)
+    return schedule
+
+
+@dataclass
+class AHEFTScheduler:
+    """Object wrapper exposing AHEFT through the common scheduler interface.
+
+    ``schedule()`` performs the initial scheduling (identical to HEFT);
+    ``reschedule()`` performs the adaptive step at a later clock value.
+    """
+
+    insertion: bool = True
+    respect_running: bool = True
+    name: str = "AHEFT"
+
+    def schedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+    ) -> Schedule:
+        return aheft_reschedule(
+            workflow,
+            costs,
+            resources,
+            clock=0.0,
+            previous_schedule=None,
+            execution_state=None,
+            insertion=self.insertion,
+            respect_running=self.respect_running,
+            resource_available_from=resource_available_from,
+            name=self.name,
+        )
+
+    def reschedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        clock: float,
+        previous_schedule: Schedule,
+        execution_state: Optional[ExecutionState] = None,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+    ) -> Schedule:
+        return aheft_reschedule(
+            workflow,
+            costs,
+            resources,
+            clock=clock,
+            previous_schedule=previous_schedule,
+            execution_state=execution_state,
+            insertion=self.insertion,
+            respect_running=self.respect_running,
+            resource_available_from=resource_available_from,
+            name=self.name,
+        )

@@ -1,0 +1,377 @@
+"""Core scheduling data structures shared by every heuristic.
+
+* :class:`Assignment` — one job mapped to one resource for a time window.
+* :class:`Schedule` — a full mapping (the Planner's plan ``S``), with the
+  per-resource timelines needed for insertion-based placement and with
+  makespan / SFT queries (paper Eq. 4).
+* :class:`ResourceTimeline` — occupied intervals on one resource plus the
+  earliest-slot search used by HEFT's insertion policy.
+* :class:`ExecutionState` — the run-time snapshot the adaptive Planner uses
+  at rescheduling time ``clock``: which jobs finished (AST/AFT), which are
+  running, and where produced data currently lives or is in flight.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Assignment",
+    "Schedule",
+    "ResourceTimeline",
+    "JobStatus",
+    "ExecutionState",
+]
+
+#: Numerical slack used when comparing logical times.
+TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A job mapped to a resource for ``[start, finish)``.
+
+    ``finish`` is the scheduled finish time SFT(n_i) while the assignment is
+    still a plan, and the actual finish time AFT(n_i) once executed.
+    """
+
+    job_id: str
+    resource_id: str
+    start: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if self.finish < self.start - TIME_EPS:
+            raise ValueError(
+                f"assignment of {self.job_id!r} finishes before it starts"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    def shifted(self, delta: float) -> "Assignment":
+        """The same assignment translated in time by ``delta``."""
+        return replace(self, start=self.start + delta, finish=self.finish + delta)
+
+
+class ResourceTimeline:
+    """Occupied intervals on one resource, kept sorted by start time.
+
+    Provides the earliest-slot search used by HEFT's insertion-based policy:
+    a new task of length ``duration`` that becomes ready at ``ready`` is
+    placed either inside an idle gap large enough to hold it or after the
+    last occupied interval.
+    """
+
+    def __init__(self, resource_id: str, *, available_from: float = 0.0) -> None:
+        self.resource_id = resource_id
+        self.available_from = float(available_from)
+        self._intervals: List[Tuple[float, float, str]] = []
+
+    # ------------------------------------------------------------------
+    def occupy(self, start: float, finish: float, job_id: str) -> None:
+        """Mark ``[start, finish)`` as used by ``job_id``.
+
+        Raises
+        ------
+        ValueError
+            If the interval overlaps an existing one (beyond float slack).
+        """
+        if finish < start - TIME_EPS:
+            raise ValueError("finish precedes start")
+        for other_start, other_finish, other_job in self._intervals:
+            if start < other_finish - TIME_EPS and other_start < finish - TIME_EPS:
+                raise ValueError(
+                    f"interval [{start}, {finish}) of {job_id!r} overlaps "
+                    f"[{other_start}, {other_finish}) of {other_job!r} on "
+                    f"{self.resource_id!r}"
+                )
+        self._intervals.append((float(start), float(finish), job_id))
+        self._intervals.sort(key=lambda item: (item[0], item[1], item[2]))
+
+    def intervals(self) -> List[Tuple[float, float, str]]:
+        return list(self._intervals)
+
+    def ready_time(self) -> float:
+        """Earliest time after every occupied interval (``avail[j]`` without insertion)."""
+        if not self._intervals:
+            return self.available_from
+        return max(self.available_from, max(finish for _, finish, _ in self._intervals))
+
+    def earliest_start(
+        self, ready: float, duration: float, *, insertion: bool = True
+    ) -> float:
+        """Earliest start time for a task of ``duration`` ready at ``ready``.
+
+        With ``insertion=True`` (original HEFT policy) idle gaps between
+        already-placed tasks are considered; otherwise the task is appended
+        after the last occupied interval.
+        """
+        ready = max(ready, self.available_from)
+        if not insertion:
+            return max(ready, self.ready_time())
+        # Insertion policy: scan gaps in increasing start order.
+        cursor = ready
+        for start, finish, _ in self._intervals:
+            if cursor + duration <= start + TIME_EPS:
+                return cursor
+            cursor = max(cursor, finish)
+        return cursor
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of ``[available_from, horizon)`` that is occupied."""
+        window = horizon - self.available_from
+        if window <= 0:
+            return 0.0
+        busy = sum(
+            max(0.0, min(finish, horizon) - max(start, self.available_from))
+            for start, finish, _ in self._intervals
+        )
+        return busy / window
+
+
+class Schedule:
+    """A complete or partial mapping of workflow jobs onto resources."""
+
+    def __init__(self, *, name: str = "schedule") -> None:
+        self.name = name
+        self._assignments: Dict[str, Assignment] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, assignment: Assignment) -> None:
+        """Add or replace the assignment of a job."""
+        self._assignments[assignment.job_id] = assignment
+
+    def extend(self, assignments: Iterable[Assignment]) -> None:
+        for assignment in assignments:
+            self.add(assignment)
+
+    def copy(self, *, name: Optional[str] = None) -> "Schedule":
+        out = Schedule(name=name or self.name)
+        out._assignments = dict(self._assignments)
+        return out
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._assignments
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __iter__(self):
+        return iter(self._assignments.values())
+
+    def assignment(self, job_id: str) -> Assignment:
+        return self._assignments[job_id]
+
+    def get(self, job_id: str) -> Optional[Assignment]:
+        return self._assignments.get(job_id)
+
+    def jobs(self) -> List[str]:
+        return list(self._assignments.keys())
+
+    def resources_used(self) -> List[str]:
+        return sorted({a.resource_id for a in self._assignments.values()})
+
+    def resource_of(self, job_id: str) -> str:
+        return self._assignments[job_id].resource_id
+
+    def scheduled_finish_time(self, job_id: str) -> float:
+        """SFT(n_i): the scheduled finish time of a mapped job."""
+        return self._assignments[job_id].finish
+
+    def scheduled_start_time(self, job_id: str) -> float:
+        return self._assignments[job_id].start
+
+    def makespan(self) -> float:
+        """``max SFT(n_exit)`` — with no exit info, the max finish overall.
+
+        The maximum over *all* jobs equals the maximum over exit jobs because
+        every non-exit job finishes before its successors do.
+        """
+        if not self._assignments:
+            return 0.0
+        return max(a.finish for a in self._assignments.values())
+
+    def assignments_on(self, resource_id: str) -> List[Assignment]:
+        """Assignments placed on ``resource_id`` sorted by start time."""
+        out = [a for a in self._assignments.values() if a.resource_id == resource_id]
+        out.sort(key=lambda a: (a.start, a.finish, a.job_id))
+        return out
+
+    def timelines(
+        self, resources: Optional[Sequence[str]] = None, *, available_from: Optional[Mapping[str, float]] = None
+    ) -> Dict[str, ResourceTimeline]:
+        """Per-resource timelines of this schedule's assignments."""
+        resource_ids = list(resources) if resources is not None else self.resources_used()
+        timelines: Dict[str, ResourceTimeline] = {}
+        for rid in resource_ids:
+            start = 0.0 if available_from is None else float(available_from.get(rid, 0.0))
+            timelines[rid] = ResourceTimeline(rid, available_from=start)
+        for assignment in self._assignments.values():
+            if assignment.resource_id not in timelines:
+                timelines[assignment.resource_id] = ResourceTimeline(assignment.resource_id)
+            timelines[assignment.resource_id].occupy(
+                assignment.start, assignment.finish, assignment.job_id
+            )
+        return timelines
+
+    def gantt_rows(self) -> List[Tuple[str, str, float, float]]:
+        """``(resource, job, start, finish)`` rows sorted for display."""
+        rows = [
+            (a.resource_id, a.job_id, a.start, a.finish)
+            for a in self._assignments.values()
+        ]
+        rows.sort(key=lambda row: (row[0], row[2], row[1]))
+        return rows
+
+    def to_dict(self) -> Dict[str, Dict[str, float | str]]:
+        """JSON-friendly rendering keyed by job id."""
+        return {
+            job_id: {
+                "resource": a.resource_id,
+                "start": a.start,
+                "finish": a.finish,
+            }
+            for job_id, a in sorted(self._assignments.items())
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schedule(name={self.name!r}, jobs={len(self)}, makespan={self.makespan():.2f})"
+
+
+class JobStatus(enum.Enum):
+    """Run-time status of a job at a given clock value."""
+
+    NOT_STARTED = "not_started"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class ExecutionState:
+    """Snapshot of a partially executed workflow at time ``clock``.
+
+    Attributes
+    ----------
+    clock:
+        The logical time of the snapshot (the ``clock`` of paper Eq. 1–3).
+    status:
+        Per-job :class:`JobStatus`.
+    actual_start:
+        AST(n_i) for jobs that started.
+    actual_finish:
+        AFT(n_i) for jobs that finished.
+    executed_on:
+        Resource each started job executes/executed on.
+    data_arrivals:
+        ``(producer_job, resource_id) -> time`` at which the producer's
+        output is (or will be, for in-flight transfers) available on the
+        resource.  Outputs are always available on the resource the producer
+        ran on from AFT onwards; additional entries record transfers already
+        initiated by the Executor under the previous schedule.
+    """
+
+    clock: float = 0.0
+    status: Dict[str, JobStatus] = field(default_factory=dict)
+    actual_start: Dict[str, float] = field(default_factory=dict)
+    actual_finish: Dict[str, float] = field(default_factory=dict)
+    executed_on: Dict[str, str] = field(default_factory=dict)
+    data_arrivals: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, jobs: Iterable[str]) -> "ExecutionState":
+        """The pristine state: nothing started, clock at zero."""
+        return cls(clock=0.0, status={job: JobStatus.NOT_STARTED for job in jobs})
+
+    @classmethod
+    def from_schedule(
+        cls, schedule: Schedule, clock: float, *, jobs: Optional[Iterable[str]] = None
+    ) -> "ExecutionState":
+        """Derive the state of executing ``schedule`` accurately up to ``clock``.
+
+        Under the paper's accuracy assumption (§4.1) a job scheduled for
+        ``[start, finish)`` has actually started/finished exactly then, so
+        the snapshot can be read off the schedule: finished if
+        ``finish <= clock``, running if ``start <= clock < finish``.
+        Data arrivals reflect the static-strategy rule that outputs are
+        shipped to the successors' scheduled resources immediately on
+        completion (§4.1 assumption 2); those transfers are recorded even if
+        still in flight at ``clock``.
+        """
+        job_ids = list(jobs) if jobs is not None else schedule.jobs()
+        state = cls(clock=float(clock))
+        for job_id in job_ids:
+            assignment = schedule.get(job_id)
+            if assignment is None or assignment.start > clock + TIME_EPS:
+                state.status[job_id] = JobStatus.NOT_STARTED
+                continue
+            state.executed_on[job_id] = assignment.resource_id
+            state.actual_start[job_id] = assignment.start
+            if assignment.finish <= clock + TIME_EPS:
+                state.status[job_id] = JobStatus.FINISHED
+                state.actual_finish[job_id] = assignment.finish
+                state.data_arrivals[(job_id, assignment.resource_id)] = assignment.finish
+            else:
+                state.status[job_id] = JobStatus.RUNNING
+        return state
+
+    # ------------------------------------------------------------------
+    def job_status(self, job_id: str) -> JobStatus:
+        return self.status.get(job_id, JobStatus.NOT_STARTED)
+
+    def is_finished(self, job_id: str) -> bool:
+        return self.job_status(job_id) is JobStatus.FINISHED
+
+    def is_running(self, job_id: str) -> bool:
+        return self.job_status(job_id) is JobStatus.RUNNING
+
+    def is_not_started(self, job_id: str) -> bool:
+        return self.job_status(job_id) is JobStatus.NOT_STARTED
+
+    def finished_jobs(self) -> List[str]:
+        return [j for j, s in self.status.items() if s is JobStatus.FINISHED]
+
+    def running_jobs(self) -> List[str]:
+        return [j for j, s in self.status.items() if s is JobStatus.RUNNING]
+
+    def unfinished_jobs(self) -> List[str]:
+        return [j for j, s in self.status.items() if s is not JobStatus.FINISHED]
+
+    def not_started_jobs(self) -> List[str]:
+        return [j for j, s in self.status.items() if s is JobStatus.NOT_STARTED]
+
+    def all_finished(self) -> bool:
+        return bool(self.status) and all(
+            s is JobStatus.FINISHED for s in self.status.values()
+        )
+
+    def record_start(self, job_id: str, resource_id: str, time: float) -> None:
+        self.status[job_id] = JobStatus.RUNNING
+        self.actual_start[job_id] = time
+        self.executed_on[job_id] = resource_id
+
+    def record_finish(self, job_id: str, time: float) -> None:
+        if self.job_status(job_id) is not JobStatus.RUNNING:
+            raise ValueError(f"job {job_id!r} cannot finish: it is not running")
+        self.status[job_id] = JobStatus.FINISHED
+        self.actual_finish[job_id] = time
+        self.data_arrivals[(job_id, self.executed_on[job_id])] = time
+
+    def record_data_arrival(self, producer: str, resource_id: str, time: float) -> None:
+        key = (producer, resource_id)
+        current = self.data_arrivals.get(key)
+        if current is None or time < current:
+            self.data_arrivals[key] = time
+
+    def data_available_at(self, producer: str, resource_id: str) -> Optional[float]:
+        """Time the producer's output is available on ``resource_id`` (or None)."""
+        return self.data_arrivals.get((producer, resource_id))

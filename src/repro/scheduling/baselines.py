@@ -1,0 +1,195 @@
+"""Additional scheduling baselines.
+
+Besides the three strategies the paper evaluates head-to-head (static HEFT,
+adaptive AHEFT, dynamic Min-Min) this module provides common comparison
+points used by the broader DAG-scheduling literature the paper cites
+(Braun et al. heuristics, the Höing/Schiffmann test bench):
+
+* :class:`MaxMinScheduler` and :class:`SufferageScheduler` — dynamic batch
+  heuristics sharing the Min-Min machinery,
+* :class:`RandomStaticScheduler` — static mapping with random resource
+  choice (a sanity lower bound),
+* :class:`OpportunisticLoadBalancer` — static mapping to the earliest-ready
+  resource ignoring execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.scheduling.base import Assignment, ResourceTimeline, Schedule
+from repro.scheduling.minmin import batch_map
+from repro.utils.rng import spawn_rng
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "MaxMinScheduler",
+    "SufferageScheduler",
+    "RandomStaticScheduler",
+    "OpportunisticLoadBalancer",
+]
+
+
+def _select_max_completion(best_by_job: Dict[str, Tuple[float, Assignment]]) -> str:
+    return max(
+        best_by_job, key=lambda job: (best_by_job[job][1].finish, job)
+    )
+
+
+def _select_max_sufferage(best_by_job: Dict[str, Tuple[float, Assignment]]) -> str:
+    return max(best_by_job, key=lambda job: (best_by_job[job][0], job))
+
+
+@dataclass
+class MaxMinScheduler:
+    """Dynamic Max-Min: fix the ready job with the *largest* best completion."""
+
+    name: str = "MaxMin"
+
+    def map_ready_jobs(
+        self,
+        ready_jobs: Sequence[str],
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        clock: float,
+        resource_free: Mapping[str, float],
+        data_location: Mapping[str, str],
+    ) -> List[Assignment]:
+        return batch_map(
+            ready_jobs,
+            workflow,
+            costs,
+            resources,
+            clock=clock,
+            resource_free=resource_free,
+            data_location=data_location,
+            selector=_select_max_completion,
+        )
+
+
+@dataclass
+class SufferageScheduler:
+    """Dynamic Sufferage: fix the job that loses most if denied its best resource."""
+
+    name: str = "Sufferage"
+
+    def map_ready_jobs(
+        self,
+        ready_jobs: Sequence[str],
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        clock: float,
+        resource_free: Mapping[str, float],
+        data_location: Mapping[str, str],
+    ) -> List[Assignment]:
+        return batch_map(
+            ready_jobs,
+            workflow,
+            costs,
+            resources,
+            clock=clock,
+            resource_free=resource_free,
+            data_location=data_location,
+            selector=_select_max_sufferage,
+        )
+
+
+@dataclass
+class RandomStaticScheduler:
+    """Static schedule with a uniformly random resource per job.
+
+    Jobs are placed in topological order at their earliest feasible start on
+    the randomly chosen resource.  Deterministic for a fixed ``seed``.
+    """
+
+    seed: int = 0
+    insertion: bool = True
+    name: str = "RandomStatic"
+
+    def schedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+    ) -> Schedule:
+        if not resources:
+            raise ValueError("cannot schedule on an empty resource set")
+        rng = spawn_rng(self.seed, "random-static", workflow.name)
+        availability = resource_available_from or {}
+        timelines = {
+            rid: ResourceTimeline(rid, available_from=float(availability.get(rid, 0.0)))
+            for rid in resources
+        }
+        schedule = Schedule(name=self.name)
+        for job in workflow.topological_order():
+            rid = resources[int(rng.integers(0, len(resources)))]
+            duration = costs.computation_cost(job, rid)
+            ready = 0.0
+            for pred in workflow.predecessors(job):
+                pred_assignment = schedule.assignment(pred)
+                ready = max(
+                    ready,
+                    pred_assignment.finish
+                    + costs.communication_cost(pred, job, pred_assignment.resource_id, rid),
+                )
+            start = timelines[rid].earliest_start(ready, duration, insertion=self.insertion)
+            assignment = Assignment(job, rid, start, start + duration)
+            timelines[rid].occupy(assignment.start, assignment.finish, job)
+            schedule.add(assignment)
+        return schedule
+
+
+@dataclass
+class OpportunisticLoadBalancer:
+    """Static OLB: place each job on the resource that becomes free first.
+
+    Ignores execution-time heterogeneity entirely — a classic weak baseline
+    that bounds how much of HEFT's advantage comes from cost awareness.
+    """
+
+    insertion: bool = False
+    name: str = "OLB"
+
+    def schedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+    ) -> Schedule:
+        if not resources:
+            raise ValueError("cannot schedule on an empty resource set")
+        availability = resource_available_from or {}
+        timelines = {
+            rid: ResourceTimeline(rid, available_from=float(availability.get(rid, 0.0)))
+            for rid in resources
+        }
+        schedule = Schedule(name=self.name)
+        for job in workflow.topological_order():
+            # Earliest-ready resource, ties broken by identifier.
+            rid = min(resources, key=lambda r: (timelines[r].ready_time(), r))
+            duration = costs.computation_cost(job, rid)
+            ready = 0.0
+            for pred in workflow.predecessors(job):
+                pred_assignment = schedule.assignment(pred)
+                ready = max(
+                    ready,
+                    pred_assignment.finish
+                    + costs.communication_cost(pred, job, pred_assignment.resource_id, rid),
+                )
+            start = timelines[rid].earliest_start(ready, duration, insertion=self.insertion)
+            assignment = Assignment(job, rid, start, start + duration)
+            timelines[rid].occupy(assignment.start, assignment.finish, job)
+            schedule.add(assignment)
+        return schedule

@@ -1,0 +1,133 @@
+"""HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al., 2002).
+
+HEFT is the static heuristic the paper builds on: jobs are prioritised by
+*upward rank* (Eq. 5/6) and, in non-increasing rank order, each job is
+placed on the resource that minimises its Earliest Finish Time, optionally
+using the insertion-based policy (a job may be placed in an idle gap between
+already-scheduled jobs on a resource).
+
+This module implements the *traditional* static HEFT used as the paper's
+baseline: it is executed once, before the workflow starts, against the
+resource pool known at time 0, and it never revisits its decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.scheduling.base import Assignment, ResourceTimeline, Schedule, TIME_EPS
+from repro.workflow.analysis import upward_ranks
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = ["heft_schedule", "heft_priority_order", "HEFTScheduler"]
+
+
+def heft_priority_order(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Jobs sorted by non-increasing upward rank.
+
+    Ties are broken by topological position (predecessors first) and then by
+    job identifier, so the order is deterministic and always topologically
+    consistent even when zero-cost jobs make ranks equal.
+    """
+    ranks = upward_ranks(workflow, costs, resources)
+    topo_index = {job: idx for idx, job in enumerate(workflow.topological_order())}
+    return sorted(
+        workflow.jobs,
+        key=lambda job: (-ranks[job], topo_index[job], job),
+    )
+
+
+def heft_schedule(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Sequence[str],
+    *,
+    insertion: bool = True,
+    resource_available_from: Optional[Mapping[str, float]] = None,
+    name: str = "heft",
+) -> Schedule:
+    """Compute a static HEFT schedule.
+
+    Parameters
+    ----------
+    workflow, costs:
+        The DAG and its cost model (the estimation matrix ``P``).
+    resources:
+        The resource identifiers known to the Planner (set ``R``).
+    insertion:
+        Use the original HEFT insertion-based policy (default) or simple
+        append-after-last placement.
+    resource_available_from:
+        Optional earliest usable time per resource (``avail[j]``); defaults
+        to 0 for every resource.
+    """
+    if not resources:
+        raise ValueError("cannot schedule on an empty resource set")
+    workflow.validate()
+    availability = resource_available_from or {}
+    timelines: Dict[str, ResourceTimeline] = {
+        rid: ResourceTimeline(rid, available_from=float(availability.get(rid, 0.0)))
+        for rid in resources
+    }
+    schedule = Schedule(name=name)
+
+    for job in heft_priority_order(workflow, costs, resources):
+        best: Optional[Assignment] = None
+        for rid in resources:
+            duration = costs.computation_cost(job, rid)
+            ready = 0.0
+            for pred in workflow.predecessors(job):
+                pred_assignment = schedule.get(pred)
+                if pred_assignment is None:
+                    raise RuntimeError(
+                        f"predecessor {pred!r} of {job!r} not scheduled yet; "
+                        "priority order is not topologically consistent"
+                    )
+                transfer = costs.communication_cost(
+                    pred, job, pred_assignment.resource_id, rid
+                )
+                ready = max(ready, pred_assignment.finish + transfer)
+            start = timelines[rid].earliest_start(ready, duration, insertion=insertion)
+            candidate = Assignment(job, rid, start, start + duration)
+            if best is None or candidate.finish < best.finish - TIME_EPS:
+                best = candidate
+        assert best is not None
+        timelines[best.resource_id].occupy(best.start, best.finish, job)
+        schedule.add(best)
+    return schedule
+
+
+@dataclass
+class HEFTScheduler:
+    """Object-style wrapper around :func:`heft_schedule`.
+
+    Used by the Planner (which holds a scheduler instance per workflow,
+    paper §3.2) and by the experiment harness where scheduler objects are
+    swapped polymorphically.
+    """
+
+    insertion: bool = True
+    name: str = "HEFT"
+
+    def schedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+    ) -> Schedule:
+        return heft_schedule(
+            workflow,
+            costs,
+            resources,
+            insertion=self.insertion,
+            resource_available_from=resource_available_from,
+            name=self.name,
+        )

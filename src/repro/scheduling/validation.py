@@ -1,0 +1,140 @@
+"""Schedule feasibility validation.
+
+A schedule produced by any heuristic must satisfy three invariants, which
+the test-suite also checks property-style on randomly generated DAGs:
+
+1. **Precedence** — a job starts no earlier than each predecessor's finish
+   plus the communication cost between their resources (zero when
+   co-located).
+2. **Exclusive resources** — assignments on one resource never overlap.
+3. **Resource availability** — a job only uses a resource after it joined
+   the grid (and before it left).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.resources.pool import ResourcePool
+from repro.scheduling.base import Schedule, TIME_EPS
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "ScheduleValidationError",
+    "check_precedence",
+    "check_no_overlap",
+    "check_resource_availability",
+    "validate_schedule",
+]
+
+
+class ScheduleValidationError(AssertionError):
+    """Raised when a schedule violates a feasibility invariant."""
+
+
+def check_precedence(
+    workflow: Workflow,
+    costs: CostModel,
+    schedule: Schedule,
+    *,
+    tolerance: float = 1e-6,
+) -> List[str]:
+    """Return a list of precedence violations (empty when feasible)."""
+    problems: List[str] = []
+    for src, dst, _data in workflow.edges():
+        src_assignment = schedule.get(src)
+        dst_assignment = schedule.get(dst)
+        if src_assignment is None or dst_assignment is None:
+            continue
+        transfer = costs.communication_cost(
+            src, dst, src_assignment.resource_id, dst_assignment.resource_id
+        )
+        earliest = src_assignment.finish + transfer
+        if dst_assignment.start < earliest - tolerance:
+            problems.append(
+                f"{dst} starts at {dst_assignment.start:.3f} before data from "
+                f"{src} is available at {earliest:.3f}"
+            )
+    return problems
+
+
+def check_no_overlap(schedule: Schedule, *, tolerance: float = 1e-6) -> List[str]:
+    """Return overlapping-assignment violations (empty when feasible)."""
+    problems: List[str] = []
+    for rid in schedule.resources_used():
+        assignments = schedule.assignments_on(rid)
+        for first, second in zip(assignments, assignments[1:]):
+            if second.start < first.finish - tolerance:
+                problems.append(
+                    f"{first.job_id} and {second.job_id} overlap on {rid}: "
+                    f"[{first.start:.3f}, {first.finish:.3f}) vs "
+                    f"[{second.start:.3f}, {second.finish:.3f})"
+                )
+    return problems
+
+
+def check_resource_availability(
+    schedule: Schedule,
+    pool: ResourcePool,
+    *,
+    tolerance: float = 1e-6,
+) -> List[str]:
+    """Return assignments using resources outside their availability window."""
+    problems: List[str] = []
+    for assignment in schedule:
+        if assignment.resource_id not in pool:
+            problems.append(
+                f"{assignment.job_id} uses unknown resource {assignment.resource_id}"
+            )
+            continue
+        resource = pool.resource(assignment.resource_id)
+        if assignment.start < resource.available_from - tolerance:
+            problems.append(
+                f"{assignment.job_id} starts at {assignment.start:.3f} before "
+                f"{assignment.resource_id} joins at {resource.available_from:.3f}"
+            )
+        if (
+            resource.available_until is not None
+            and assignment.finish > resource.available_until + tolerance
+        ):
+            problems.append(
+                f"{assignment.job_id} finishes at {assignment.finish:.3f} after "
+                f"{assignment.resource_id} leaves at {resource.available_until:.3f}"
+            )
+    return problems
+
+
+def check_completeness(workflow: Workflow, schedule: Schedule) -> List[str]:
+    """Return the jobs missing from the schedule."""
+    return [f"job {job} is not scheduled" for job in workflow.jobs if job not in schedule]
+
+
+def validate_schedule(
+    workflow: Workflow,
+    costs: CostModel,
+    schedule: Schedule,
+    *,
+    pool: Optional[ResourcePool] = None,
+    require_complete: bool = True,
+    tolerance: float = 1e-6,
+    raise_on_error: bool = True,
+) -> List[str]:
+    """Run every feasibility check and collect the violations.
+
+    With ``raise_on_error`` (default) a non-empty violation list raises
+    :class:`ScheduleValidationError`; otherwise the list is returned for the
+    caller to inspect.
+    """
+    problems: List[str] = []
+    if require_complete:
+        problems.extend(check_completeness(workflow, schedule))
+    problems.extend(check_precedence(workflow, costs, schedule, tolerance=tolerance))
+    problems.extend(check_no_overlap(schedule, tolerance=tolerance))
+    if pool is not None:
+        problems.extend(check_resource_availability(schedule, pool, tolerance=tolerance))
+    if problems and raise_on_error:
+        raise ScheduleValidationError(
+            "schedule is infeasible:\n  " + "\n  ".join(problems)
+        )
+    return problems

@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate.
+
+The paper runs its evaluation on SimJava, a Java event-driven simulation
+framework.  This package is the Python substitute: a small discrete-event
+kernel (:mod:`~repro.simulation.engine`) plus grid executors built on it
+(:mod:`~repro.simulation.executor`):
+
+* :class:`~repro.simulation.executor.StaticScheduleExecutor` — plays a
+  planner-produced schedule forward in time, modelling job execution and
+  output-file transfers (the Executor of paper Fig. 1 running a static
+  plan),
+* :class:`~repro.simulation.executor.JustInTimeExecutor` — the dynamic
+  strategy: maps each batch of ready jobs with Min-Min (or another batch
+  heuristic) at the moment it becomes ready.
+
+Execution produces an :class:`~repro.simulation.trace.ExecutionTrace`
+recording actual start/finish times, file transfers and the makespan.
+"""
+
+from repro.simulation.engine import SimulationEngine, SimulationError
+from repro.simulation.executor import JustInTimeExecutor, StaticScheduleExecutor
+from repro.simulation.trace import ExecutionTrace, TransferRecord, render_gantt
+
+__all__ = [
+    "SimulationEngine",
+    "SimulationError",
+    "StaticScheduleExecutor",
+    "JustInTimeExecutor",
+    "ExecutionTrace",
+    "TransferRecord",
+    "render_gantt",
+]

@@ -1,0 +1,173 @@
+"""A minimal discrete-event simulation kernel.
+
+This is the SimJava substitute: a priority queue of timestamped events, a
+logical clock and a run loop.  Events are plain callbacks; determinism is
+guaranteed by breaking time ties with (priority, insertion sequence).
+
+The kernel is intentionally small — the grid executors in
+:mod:`repro.simulation.executor` provide the domain behaviour — but it is a
+genuine event-driven core: callbacks may schedule further events, the clock
+never moves backwards, and the run can be bounded by time or event count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["SimulationEngine", "SimulationError", "ScheduledEvent"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (scheduling in the past, exceeding limits)."""
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """Internal heap entry: ordered by (time, priority, sequence)."""
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class SimulationEngine:
+    """Discrete-event simulation engine with a logical clock.
+
+    Examples
+    --------
+    >>> engine = SimulationEngine()
+    >>> seen = []
+    >>> _ = engine.schedule_at(5.0, lambda: seen.append(engine.now))
+    >>> _ = engine.schedule_at(2.0, lambda: seen.append(engine.now))
+    >>> engine.run()
+    >>> seen
+    [2.0, 5.0]
+    """
+
+    def __init__(self, *, start_time: float = 0.0, max_events: int = 10_000_000) -> None:
+        self._now = float(start_time)
+        self._queue: List[ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+        self._max_events = int(max_events)
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current logical time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run at absolute ``time``.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` is in the past.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = ScheduledEvent(
+            time=float(max(time, self._now)),
+            priority=priority,
+            sequence=next(self._sequence),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        return self.schedule_at(self._now + delay, callback, priority=priority, label=label)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or ``None`` if queue empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; return ``False`` if none remained."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if self._processed >= self._max_events:
+                raise SimulationError(
+                    f"exceeded the maximum of {self._max_events} events; "
+                    "likely a runaway event loop"
+                )
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, *, until: Optional[float] = None) -> float:
+        """Run until the queue drains, ``stop()`` is called or ``until`` passes.
+
+        Returns the final logical time.
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped:
+                next_time = self.peek_next_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self._now

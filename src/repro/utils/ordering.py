@@ -1,0 +1,92 @@
+"""Deterministic ordering helpers.
+
+Scheduling heuristics are full of ties (equal ranks, equal finish times).
+The paper does not specify tie-breaking, but reproducibility across runs and
+platforms requires that ties are broken deterministically.  These helpers
+centralise that policy: ties are always broken by the *secondary key* (job
+or resource identifier), never by dict iteration order or float noise.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Sequence, Set, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["argsort_stable", "stable_min", "topological_order"]
+
+
+def argsort_stable(values: Mapping[T, float], *, reverse: bool = False) -> List[T]:
+    """Sort the keys of ``values`` by value, breaking ties by key.
+
+    Parameters
+    ----------
+    values:
+        Mapping from item to sort value.
+    reverse:
+        If ``True``, sort by non-increasing value (ties still broken by
+        ascending key), which is the order HEFT uses for upward ranks.
+    """
+    keys = sorted(values.keys(), key=lambda item: str(item))
+    return sorted(keys, key=lambda item: values[item], reverse=reverse)
+
+
+def stable_min(
+    candidates: Iterable[T],
+    key: Callable[[T], float],
+    *,
+    tolerance: float = 0.0,
+) -> T:
+    """Return the candidate minimising ``key`` with deterministic tie-breaks.
+
+    Two candidates whose key values differ by at most ``tolerance`` are
+    considered tied and the one with the smaller string representation wins.
+    """
+    best: T | None = None
+    best_value: float | None = None
+    for candidate in sorted(candidates, key=lambda item: str(item)):
+        value = key(candidate)
+        if best is None or value < best_value - tolerance:
+            best = candidate
+            best_value = value
+    if best is None:
+        raise ValueError("stable_min() arg is an empty sequence")
+    return best
+
+
+def topological_order(
+    nodes: Sequence[T],
+    successors: Mapping[T, Iterable[T]],
+) -> List[T]:
+    """Kahn topological sort with deterministic (sorted-key) tie breaking.
+
+    Raises
+    ------
+    ValueError
+        If the graph contains a cycle.
+    """
+    nodes = list(nodes)
+    node_set: Set[T] = set(nodes)
+    indegree: Dict[T, int] = {node: 0 for node in nodes}
+    for node in nodes:
+        for succ in successors.get(node, ()):  # type: ignore[arg-type]
+            if succ not in node_set:
+                raise ValueError(f"edge target {succ!r} is not a node")
+            indegree[succ] += 1
+
+    ready = sorted((node for node, deg in indegree.items() if deg == 0), key=str)
+    order: List[T] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        inserted = []
+        for succ in successors.get(node, ()):  # type: ignore[arg-type]
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                inserted.append(succ)
+        if inserted:
+            ready.extend(inserted)
+            ready.sort(key=str)
+    if len(order) != len(nodes):
+        raise ValueError("graph contains a cycle")
+    return order

@@ -1,0 +1,339 @@
+"""Cost models: pricing a workflow DAG on a heterogeneous resource pool.
+
+The paper separates workflow *structure* from *costs*: the ``data`` matrix
+lives on the DAG edges while the computation-cost matrix ``w[i][j]`` and the
+communication costs ``c[i][j]`` are produced by the Predictor from
+performance history and resource information (paper §3.2, §3.4).  A
+:class:`CostModel` plays the Predictor's pricing role:
+
+* ``computation_cost(job, resource)`` — the estimated execution time of a
+  job on a resource (``w_{i,j}``),
+* ``communication_cost(src, dst, r_src, r_dst)`` — the estimated transfer
+  time of the ``src -> dst`` output when the two jobs run on ``r_src`` and
+  ``r_dst`` (``c_{i,j}``; zero when both run on the same resource),
+* the corresponding *averages* used by HEFT's upward rank.
+
+Two concrete models are provided:
+
+* :class:`TabularCostModel` — explicit per-(job, resource) tables, used for
+  the paper's worked example (Fig. 4) and for unit tests;
+* :class:`HeterogeneousCostModel` — the paper's parametric model
+  (§4.2): ``w_i`` drawn from ``U[0, 2·w_DAG]`` per job and
+  ``w_{i,j} ~ U[w_i(1-β/2), w_i(1+β/2)]`` per (job, resource), with
+  communication priced as ``latency + data / bandwidth``.  Costs for
+  resources that join *after* workflow submission are drawn lazily from the
+  same distribution, seeded by the resource identity, so the model remains
+  deterministic under pool growth.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import spawn_rng
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "CostModel",
+    "TabularCostModel",
+    "HeterogeneousCostModel",
+    "UniformCostModel",
+]
+
+
+class CostModel(abc.ABC):
+    """Interface for estimating computation and communication costs."""
+
+    #: workflow whose edges supply the data volumes
+    workflow: Workflow
+
+    # ------------------------------------------------------------------
+    # computation
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def computation_cost(self, job_id: str, resource_id: str) -> float:
+        """Estimated execution time ``w_{i,j}`` of ``job_id`` on ``resource_id``."""
+
+    def average_computation_cost(
+        self, job_id: str, resources: Optional[Sequence[str]] = None
+    ) -> float:
+        """Average ``w_i`` of the job.
+
+        When ``resources`` is given, the average is taken over that set
+        (what HEFT does when ranking against the currently known pool);
+        otherwise the model's intrinsic average is returned.
+        """
+        if resources:
+            return float(
+                np.mean([self.computation_cost(job_id, r) for r in resources])
+            )
+        return self.intrinsic_average_computation_cost(job_id)
+
+    @abc.abstractmethod
+    def intrinsic_average_computation_cost(self, job_id: str) -> float:
+        """Model-defined average computation cost of the job."""
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def communication_cost(
+        self, src: str, dst: str, src_resource: str, dst_resource: str
+    ) -> float:
+        """Estimated transfer time of the ``src -> dst`` output.
+
+        Must be zero when ``src_resource == dst_resource`` (local data).
+        """
+
+    @abc.abstractmethod
+    def average_communication_cost(self, src: str, dst: str) -> float:
+        """Average transfer time of ``src -> dst`` ignoring placement.
+
+        This is the ``\\bar{c}_{i,j}`` used in the upward rank (Eq. 5).
+        """
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def ccr(self, resources: Optional[Sequence[str]] = None) -> float:
+        """Communication-to-computation ratio of the priced workflow.
+
+        Defined as the ratio of the average communication cost per edge to
+        the average computation cost per job (paper §4.2).  Returns 0 for
+        workflows without edges.
+        """
+        edges = self.workflow.edges()
+        comp = [
+            self.average_computation_cost(job, resources) for job in self.workflow.jobs
+        ]
+        mean_comp = float(np.mean(comp)) if comp else 0.0
+        if not edges or mean_comp == 0.0:
+            return 0.0
+        comm = [self.average_communication_cost(src, dst) for src, dst, _ in edges]
+        return float(np.mean(comm)) / mean_comp
+
+
+class TabularCostModel(CostModel):
+    """Cost model backed by explicit tables.
+
+    Parameters
+    ----------
+    workflow:
+        The workflow whose edges carry the communication costs.  Edge data
+        values are interpreted directly as transfer times between distinct
+        resources (bandwidth 1), matching the paper's Fig. 4 where edge
+        weights are communication costs.
+    computation:
+        Mapping ``job_id -> {resource_id -> cost}``.
+    strict:
+        If ``True`` (default) asking for a resource missing from a job's row
+        raises ``KeyError``; if ``False`` the row average is returned, which
+        is convenient when new resources join and should behave "average".
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        computation: Mapping[str, Mapping[str, float]],
+        *,
+        strict: bool = True,
+    ) -> None:
+        self.workflow = workflow
+        self._comp: Dict[str, Dict[str, float]] = {
+            job: dict(row) for job, row in computation.items()
+        }
+        self.strict = strict
+        missing = set(workflow.jobs) - set(self._comp)
+        if missing:
+            raise ValueError(f"computation table missing jobs: {sorted(missing)}")
+        for job, row in self._comp.items():
+            if not row:
+                raise ValueError(f"empty computation row for job {job!r}")
+            for resource, cost in row.items():
+                if cost < 0:
+                    raise ValueError(
+                        f"negative computation cost for ({job!r}, {resource!r})"
+                    )
+
+    def resources(self) -> list[str]:
+        """All resource ids appearing in the table, sorted."""
+        ids = set()
+        for row in self._comp.values():
+            ids.update(row.keys())
+        return sorted(ids)
+
+    def computation_cost(self, job_id: str, resource_id: str) -> float:
+        row = self._comp[job_id]
+        if resource_id in row:
+            return float(row[resource_id])
+        if self.strict:
+            raise KeyError(
+                f"no tabulated cost for job {job_id!r} on resource {resource_id!r}"
+            )
+        return float(np.mean(list(row.values())))
+
+    def intrinsic_average_computation_cost(self, job_id: str) -> float:
+        return float(np.mean(list(self._comp[job_id].values())))
+
+    def communication_cost(
+        self, src: str, dst: str, src_resource: str, dst_resource: str
+    ) -> float:
+        if src_resource == dst_resource:
+            return 0.0
+        return float(self.workflow.data(src, dst))
+
+    def average_communication_cost(self, src: str, dst: str) -> float:
+        return float(self.workflow.data(src, dst))
+
+
+class HeterogeneousCostModel(CostModel):
+    """The paper's parametric heterogeneous cost model (§4.2).
+
+    Parameters
+    ----------
+    workflow:
+        Workflow whose edges carry *data volumes*.
+    base_costs:
+        ``w_i`` per job (the job's average computation cost).  Usually drawn
+        from ``U[0, 2·w_DAG]`` by the generator.
+    beta:
+        Resource heterogeneity factor.  ``w_{i,j}`` is drawn uniformly from
+        ``[w_i·(1-β/2), w_i·(1+β/2)]``; β=0 means homogeneous resources.
+    bandwidth:
+        Data units transferred per time unit between distinct resources.
+    latency:
+        Fixed per-transfer start-up cost.
+    seed:
+        Root seed for the per-(job, resource) draws.  Two model instances
+        with the same seed produce identical cost matrices, regardless of
+        query order and of when resources join the pool.
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        base_costs: Mapping[str, float],
+        *,
+        beta: float = 0.5,
+        bandwidth: float = 1.0,
+        latency: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if beta < 0 or beta > 2:
+            raise ValueError("beta must be in [0, 2] so costs stay non-negative")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.workflow = workflow
+        missing = set(workflow.jobs) - set(base_costs)
+        if missing:
+            raise ValueError(f"base_costs missing jobs: {sorted(missing)}")
+        self.base_costs: Dict[str, float] = {
+            job: float(cost) for job, cost in base_costs.items()
+        }
+        for job, cost in self.base_costs.items():
+            if cost < 0:
+                raise ValueError(f"negative base cost for job {job!r}")
+        self.beta = float(beta)
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+        self.seed = int(seed)
+        self._cache: Dict[Tuple[str, str], float] = {}
+
+    def computation_cost(self, job_id: str, resource_id: str) -> float:
+        key = (job_id, resource_id)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        base = self.base_costs[job_id]
+        rng = spawn_rng(self.seed, "wij", job_id, resource_id)
+        low = base * (1.0 - self.beta / 2.0)
+        high = base * (1.0 + self.beta / 2.0)
+        cost = float(rng.uniform(low, high)) if high > low else float(base)
+        self._cache[key] = cost
+        return cost
+
+    def intrinsic_average_computation_cost(self, job_id: str) -> float:
+        return self.base_costs[job_id]
+
+    def communication_cost(
+        self, src: str, dst: str, src_resource: str, dst_resource: str
+    ) -> float:
+        if src_resource == dst_resource:
+            return 0.0
+        return self.latency + self.workflow.data(src, dst) / self.bandwidth
+
+    def average_communication_cost(self, src: str, dst: str) -> float:
+        return self.latency + self.workflow.data(src, dst) / self.bandwidth
+
+    # ------------------------------------------------------------------
+    # perturbation support (performance-variance experiments)
+    # ------------------------------------------------------------------
+    def perturbed(self, *, error: float, seed: Optional[int] = None) -> "HeterogeneousCostModel":
+        """Return a copy whose base costs are multiplied by ``U[1-error, 1+error]``.
+
+        Used to model *actual* run-time costs diverging from the Planner's
+        estimates (paper §3.3, "Resource Performance Variance").
+        """
+        if error < 0 or error >= 1:
+            raise ValueError("error must be in [0, 1)")
+        rng = spawn_rng(self.seed if seed is None else seed, "perturb", error)
+        base = {
+            job: cost * float(rng.uniform(1.0 - error, 1.0 + error))
+            for job, cost in self.base_costs.items()
+        }
+        return HeterogeneousCostModel(
+            self.workflow,
+            base,
+            beta=self.beta,
+            bandwidth=self.bandwidth,
+            latency=self.latency,
+            seed=self.seed,
+        )
+
+
+class UniformCostModel(CostModel):
+    """A degenerate model where every job costs the same on every resource.
+
+    Useful for tests and for isolating scheduling-policy effects from
+    heterogeneity effects in ablation benchmarks.
+    """
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        *,
+        computation: float = 1.0,
+        bandwidth: float = 1.0,
+        latency: float = 0.0,
+    ) -> None:
+        if computation < 0:
+            raise ValueError("computation must be non-negative")
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.workflow = workflow
+        self.computation = float(computation)
+        self.bandwidth = float(bandwidth)
+        self.latency = float(latency)
+
+    def computation_cost(self, job_id: str, resource_id: str) -> float:
+        if job_id not in self.workflow:
+            raise KeyError(job_id)
+        return self.computation
+
+    def intrinsic_average_computation_cost(self, job_id: str) -> float:
+        return self.computation_cost(job_id, "any")
+
+    def communication_cost(
+        self, src: str, dst: str, src_resource: str, dst_resource: str
+    ) -> float:
+        if src_resource == dst_resource:
+            return 0.0
+        return self.latency + self.workflow.data(src, dst) / self.bandwidth
+
+    def average_communication_cost(self, src: str, dst: str) -> float:
+        return self.latency + self.workflow.data(src, dst) / self.bandwidth

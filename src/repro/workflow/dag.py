@@ -1,0 +1,274 @@
+"""Directed acyclic graph model of a grid workflow application.
+
+The model follows the paper's formulation (§3.4): a workflow is ``G=(V,E)``
+where ``V`` is a set of jobs and each edge ``(i, j)`` is a precedence
+constraint annotated with the amount of data job ``j`` requires from job
+``i`` (the ``data`` matrix of the paper).  Costs are *not* stored on the
+graph — they live in a :class:`~repro.workflow.costs.CostModel` so the same
+structure can be priced on different or changing resource pools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.utils.ordering import topological_order
+
+__all__ = ["Job", "Workflow"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """A single job (node) of a workflow DAG.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier inside its workflow.
+    operation:
+        Name of the executable/operation the job runs.  Scientific workflows
+        are built from a handful of unique operations instantiated many
+        times (paper §4.3); keeping the operation name allows per-operation
+        cost assignment and performance-history grouping.
+    payload:
+        Free-form metadata (e.g. the parallel-branch index for BLAST).
+    """
+
+    job_id: str
+    operation: str = "task"
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.job_id
+
+
+class Workflow:
+    """A workflow application represented as a weighted DAG.
+
+    The class stores jobs, directed data-dependency edges and the amount of
+    data transferred along each edge.  It maintains predecessor/successor
+    indices and validates acyclicity on demand.
+
+    Examples
+    --------
+    >>> wf = Workflow("diamond")
+    >>> for name in ["a", "b", "c", "d"]:
+    ...     _ = wf.add_job(name)
+    >>> wf.add_edge("a", "b", data=2.0)
+    >>> wf.add_edge("a", "c", data=3.0)
+    >>> wf.add_edge("b", "d", data=1.0)
+    >>> wf.add_edge("c", "d", data=1.0)
+    >>> wf.entry_jobs(), wf.exit_jobs()
+    (['a'], ['d'])
+    """
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self._jobs: Dict[str, Job] = {}
+        self._succ: Dict[str, Dict[str, float]] = {}
+        self._pred: Dict[str, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_job(self, job: Job | str, operation: str = "task", **payload) -> Job:
+        """Add a job and return it.
+
+        ``job`` may be a :class:`Job` or a bare identifier string.  Adding a
+        job whose identifier already exists raises ``ValueError``.
+        """
+        if isinstance(job, str):
+            job = Job(job_id=job, operation=operation, payload=dict(payload))
+        if job.job_id in self._jobs:
+            raise ValueError(f"duplicate job id: {job.job_id!r}")
+        self._jobs[job.job_id] = job
+        self._succ.setdefault(job.job_id, {})
+        self._pred.setdefault(job.job_id, {})
+        return job
+
+    def add_edge(self, src: str, dst: str, data: float = 0.0) -> None:
+        """Add a precedence edge ``src -> dst`` carrying ``data`` units.
+
+        Raises
+        ------
+        KeyError
+            If either endpoint has not been added.
+        ValueError
+            If the edge is a self loop, a duplicate, or negative data.
+        """
+        if src not in self._jobs:
+            raise KeyError(f"unknown source job: {src!r}")
+        if dst not in self._jobs:
+            raise KeyError(f"unknown destination job: {dst!r}")
+        if src == dst:
+            raise ValueError(f"self loop on job {src!r} is not allowed")
+        if dst in self._succ[src]:
+            raise ValueError(f"duplicate edge {src!r} -> {dst!r}")
+        if data < 0:
+            raise ValueError("edge data must be non-negative")
+        self._succ[src][dst] = float(data)
+        self._pred[dst][src] = float(data)
+
+    def remove_edge(self, src: str, dst: str) -> None:
+        """Remove the edge ``src -> dst`` (KeyError if absent)."""
+        del self._succ[src][dst]
+        del self._pred[dst][src]
+
+    def set_data(self, src: str, dst: str, data: float) -> None:
+        """Update the data volume of an existing edge."""
+        if dst not in self._succ.get(src, {}):
+            raise KeyError(f"no edge {src!r} -> {dst!r}")
+        if data < 0:
+            raise ValueError("edge data must be non-negative")
+        self._succ[src][dst] = float(data)
+        self._pred[dst][src] = float(data)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> List[str]:
+        """Job identifiers in insertion order."""
+        return list(self._jobs.keys())
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(succ) for succ in self._succ.values())
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._jobs)
+
+    def job(self, job_id: str) -> Job:
+        """Return the :class:`Job` object for ``job_id``."""
+        return self._jobs[job_id]
+
+    def predecessors(self, job_id: str) -> List[str]:
+        """Immediate predecessors of ``job_id`` (``pred(n_i)`` in the paper)."""
+        return list(self._pred[job_id].keys())
+
+    def successors(self, job_id: str) -> List[str]:
+        """Immediate successors of ``job_id`` (``succ(n_i)`` in the paper)."""
+        return list(self._succ[job_id].keys())
+
+    def data(self, src: str, dst: str) -> float:
+        """Amount of data transferred along ``src -> dst`` (``data[i][k]``)."""
+        try:
+            return self._succ[src][dst]
+        except KeyError as exc:
+            raise KeyError(f"no edge {src!r} -> {dst!r}") from exc
+
+    def edges(self) -> List[Tuple[str, str, float]]:
+        """All edges as ``(src, dst, data)`` triples in insertion order."""
+        out: List[Tuple[str, str, float]] = []
+        for src, succ in self._succ.items():
+            for dst, data in succ.items():
+                out.append((src, dst, data))
+        return out
+
+    def entry_jobs(self) -> List[str]:
+        """Jobs with no predecessors."""
+        return [job for job in self._jobs if not self._pred[job]]
+
+    def exit_jobs(self) -> List[str]:
+        """Jobs with no successors (``n_exit`` — there can be several)."""
+        return [job for job in self._jobs if not self._succ[job]]
+
+    def topological_order(self) -> List[str]:
+        """A deterministic topological order of the jobs.
+
+        Raises ``ValueError`` if the graph has a cycle.
+        """
+        return topological_order(self.jobs, self._succ)
+
+    def is_acyclic(self) -> bool:
+        """``True`` if the graph is a DAG."""
+        try:
+            self.topological_order()
+            return True
+        except ValueError:
+            return False
+
+    def validate(self) -> None:
+        """Validate structural invariants.
+
+        Checks acyclicity and that every job is connected to the DAG's
+        purpose (jobs may legitimately be isolated only if the DAG has a
+        single job).
+
+        Raises
+        ------
+        ValueError
+            If the workflow is empty or contains a cycle.
+        """
+        if not self._jobs:
+            raise ValueError("workflow has no jobs")
+        self.topological_order()  # raises on cycles
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def ancestors(self, job_id: str) -> Set[str]:
+        """All transitive predecessors of ``job_id``."""
+        seen: Set[str] = set()
+        stack = list(self._pred[job_id])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._pred[node])
+        return seen
+
+    def descendants(self, job_id: str) -> Set[str]:
+        """All transitive successors of ``job_id``."""
+        seen: Set[str] = set()
+        stack = list(self._succ[job_id])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succ[node])
+        return seen
+
+    def subgraph(self, job_ids: Iterable[str], name: Optional[str] = None) -> "Workflow":
+        """Induced sub-workflow on ``job_ids`` (edges inside the set only)."""
+        keep = set(job_ids)
+        missing = keep - set(self._jobs)
+        if missing:
+            raise KeyError(f"unknown jobs: {sorted(missing)!r}")
+        sub = Workflow(name or f"{self.name}[sub]")
+        for job_id in self._jobs:
+            if job_id in keep:
+                sub.add_job(self._jobs[job_id])
+        for src, dst, data in self.edges():
+            if src in keep and dst in keep:
+                sub.add_edge(src, dst, data)
+        return sub
+
+    def operations(self) -> List[str]:
+        """Distinct operation names used by this workflow, sorted."""
+        return sorted({job.operation for job in self._jobs.values()})
+
+    def out_degree(self, job_id: str) -> int:
+        return len(self._succ[job_id])
+
+    def in_degree(self, job_id: str) -> int:
+        return len(self._pred[job_id])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Workflow(name={self.name!r}, jobs={self.num_jobs}, "
+            f"edges={self.num_edges})"
+        )

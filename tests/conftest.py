@@ -1,0 +1,101 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.generators.random_dag import RandomDAGParameters, generate_random_case
+from repro.generators.sample import (
+    sample_dag_cost_model,
+    sample_dag_pool,
+    sample_dag_workflow,
+)
+from repro.resources.dynamics import ResourceChangeModel
+from repro.resources.pool import ResourcePool
+from repro.resources.resource import Resource
+from repro.workflow.costs import TabularCostModel, UniformCostModel
+from repro.workflow.dag import Workflow
+
+
+@pytest.fixture
+def diamond_workflow() -> Workflow:
+    """A 4-job diamond DAG: a -> {b, c} -> d."""
+    wf = Workflow("diamond")
+    for job in ["a", "b", "c", "d"]:
+        wf.add_job(job)
+    wf.add_edge("a", "b", data=2.0)
+    wf.add_edge("a", "c", data=3.0)
+    wf.add_edge("b", "d", data=1.0)
+    wf.add_edge("c", "d", data=4.0)
+    return wf
+
+
+@pytest.fixture
+def diamond_costs(diamond_workflow) -> TabularCostModel:
+    """Two-resource tabular cost model for the diamond DAG."""
+    return TabularCostModel(
+        diamond_workflow,
+        {
+            "a": {"r1": 2.0, "r2": 4.0},
+            "b": {"r1": 3.0, "r2": 2.0},
+            "c": {"r1": 5.0, "r2": 4.0},
+            "d": {"r1": 2.0, "r2": 3.0},
+        },
+    )
+
+
+@pytest.fixture
+def chain_workflow() -> Workflow:
+    """A 3-job chain: a -> b -> c."""
+    wf = Workflow("chain")
+    for job in ["a", "b", "c"]:
+        wf.add_job(job)
+    wf.add_edge("a", "b", data=1.0)
+    wf.add_edge("b", "c", data=1.0)
+    return wf
+
+
+@pytest.fixture
+def two_resource_pool() -> ResourcePool:
+    pool = ResourcePool()
+    pool.add(Resource("r1"))
+    pool.add(Resource("r2"))
+    return pool
+
+
+@pytest.fixture
+def sample_workflow() -> Workflow:
+    return sample_dag_workflow()
+
+
+@pytest.fixture
+def sample_costs(sample_workflow) -> TabularCostModel:
+    return sample_dag_cost_model(sample_workflow)
+
+
+@pytest.fixture
+def sample_pool() -> ResourcePool:
+    return sample_dag_pool()
+
+
+@pytest.fixture
+def small_random_case():
+    """A small (20-job) random priced case, deterministic."""
+    params = RandomDAGParameters(v=20, out_degree=0.3, ccr=1.0, beta=0.5)
+    return generate_random_case(params, seed=123)
+
+
+@pytest.fixture
+def growing_pool() -> ResourcePool:
+    """Four resources at t=0 plus two joining later."""
+    pool = ResourcePool()
+    for index in range(1, 5):
+        pool.add(Resource(f"r{index}"))
+    pool.add(Resource("r5", available_from=30.0))
+    pool.add(Resource("r6", available_from=60.0))
+    return pool
+
+
+@pytest.fixture
+def change_model() -> ResourceChangeModel:
+    return ResourceChangeModel(initial_size=4, interval=25.0, fraction=0.25, max_events=8)

@@ -1,0 +1,134 @@
+"""Tests for the adaptive rescheduling loop and the three strategy runners."""
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveReschedulingLoop,
+    run_adaptive,
+    run_dynamic,
+    run_static,
+)
+from repro.generators.blast import generate_blast_case
+from repro.generators.random_dag import RandomDAGParameters, generate_random_case
+from repro.resources.dynamics import ResourceChangeModel
+from repro.resources.pool import ResourcePool
+from repro.resources.resource import Resource
+from repro.scheduling.aheft import AHEFTScheduler
+from repro.scheduling.validation import validate_schedule
+
+
+@pytest.fixture
+def blast_case():
+    return generate_blast_case(20, ccr=1.0, beta=0.5, omega_dag=100.0, seed=5)
+
+
+@pytest.fixture
+def dynamic_pool():
+    model = ResourceChangeModel(initial_size=3, interval=150.0, fraction=0.35, max_events=20)
+    return model.build_pool()
+
+
+class TestRunStatic:
+    def test_static_uses_only_initial_resources(self, blast_case, dynamic_pool):
+        result = run_static(blast_case.workflow, blast_case.costs, dynamic_pool)
+        used = set(result.final_schedule.resources_used())
+        assert used <= set(dynamic_pool.initial_resources())
+
+    def test_static_simulated_trace_matches_plan(self, blast_case, dynamic_pool):
+        result = run_static(blast_case.workflow, blast_case.costs, dynamic_pool, simulate=True)
+        assert result.trace is not None
+        assert result.trace.makespan() == pytest.approx(result.final_schedule.makespan())
+
+    def test_static_no_resources_raises(self, blast_case):
+        pool = ResourcePool([Resource("r1", available_from=10.0)])
+        with pytest.raises(ValueError):
+            run_static(blast_case.workflow, blast_case.costs, pool)
+
+
+class TestAdaptiveLoop:
+    def test_initial_schedule_equals_static_heft(self, blast_case, dynamic_pool):
+        static = run_static(blast_case.workflow, blast_case.costs, dynamic_pool)
+        adaptive = run_adaptive(blast_case.workflow, blast_case.costs, dynamic_pool)
+        assert adaptive.initial_makespan == pytest.approx(static.makespan)
+
+    def test_adaptive_never_worse_than_static(self, blast_case, dynamic_pool):
+        """The accept-if-better rule guarantees AHEFT <= HEFT (paper's key property)."""
+        static = run_static(blast_case.workflow, blast_case.costs, dynamic_pool)
+        adaptive = run_adaptive(blast_case.workflow, blast_case.costs, dynamic_pool)
+        assert adaptive.makespan <= static.makespan + 1e-9
+
+    def test_adaptive_improves_on_constrained_pool(self, blast_case, dynamic_pool):
+        """With a tiny initial pool and frequent additions AHEFT should win outright."""
+        static = run_static(blast_case.workflow, blast_case.costs, dynamic_pool)
+        adaptive = run_adaptive(blast_case.workflow, blast_case.costs, dynamic_pool)
+        assert adaptive.makespan < static.makespan
+        assert adaptive.rescheduling_count >= 1
+
+    def test_final_schedule_feasible_against_pool(self, blast_case, dynamic_pool):
+        adaptive = run_adaptive(blast_case.workflow, blast_case.costs, dynamic_pool)
+        assert (
+            validate_schedule(
+                blast_case.workflow, blast_case.costs, adaptive.final_schedule, pool=dynamic_pool
+            )
+            == []
+        )
+
+    def test_decisions_recorded_for_events_before_completion(self, blast_case, dynamic_pool):
+        adaptive = run_adaptive(blast_case.workflow, blast_case.costs, dynamic_pool)
+        assert adaptive.evaluated_events >= adaptive.rescheduling_count
+        for decision in adaptive.decisions:
+            assert decision.time < adaptive.initial_makespan
+            if decision.adopted:
+                assert decision.candidate_makespan < decision.previous_makespan
+
+    def test_events_after_completion_ignored(self, blast_case):
+        pool = ResourcePool([Resource("r1"), Resource("r2")])
+        # one extra resource appears long after any plausible makespan
+        pool.add(Resource("r3", available_from=1e9))
+        adaptive = run_adaptive(blast_case.workflow, blast_case.costs, pool)
+        assert adaptive.evaluated_events == 0
+        assert adaptive.makespan == adaptive.initial_makespan
+
+    def test_static_pool_gives_no_decisions(self, blast_case):
+        pool = ResourcePool([Resource("r1"), Resource("r2"), Resource("r3")])
+        adaptive = run_adaptive(blast_case.workflow, blast_case.costs, pool)
+        assert adaptive.decisions == []
+
+    def test_always_accept_mode_adopts_every_candidate(self, blast_case, dynamic_pool):
+        loop = AdaptiveReschedulingLoop(AHEFTScheduler(), accept_only_if_better=False)
+        result = loop.run(blast_case.workflow, blast_case.costs, dynamic_pool)
+        assert all(decision.adopted for decision in result.decisions)
+
+    def test_accept_rule_caps_regressions_from_always_accept(self, blast_case, dynamic_pool):
+        guarded = run_adaptive(blast_case.workflow, blast_case.costs, dynamic_pool)
+        always = run_adaptive(
+            blast_case.workflow, blast_case.costs, dynamic_pool, accept_only_if_better=False
+        )
+        assert guarded.makespan <= always.makespan + 1e-9
+
+    def test_explicit_event_list_overrides_pool_events(self, blast_case, dynamic_pool):
+        loop = AdaptiveReschedulingLoop(AHEFTScheduler())
+        result = loop.run(blast_case.workflow, blast_case.costs, dynamic_pool, events=[])
+        assert result.decisions == []
+
+
+class TestRunDynamic:
+    def test_dynamic_executes_everything(self, blast_case, dynamic_pool):
+        result = run_dynamic(blast_case.workflow, blast_case.costs, dynamic_pool)
+        assert result.trace is not None
+        assert len(result.trace.jobs()) == blast_case.workflow.num_jobs
+
+    def test_dynamic_strategy_name(self, blast_case, dynamic_pool):
+        result = run_dynamic(blast_case.workflow, blast_case.costs, dynamic_pool)
+        assert result.strategy == "MinMin"
+
+    def test_plan_ahead_beats_dynamic_on_random_dags(self):
+        """The paper's central comparison: HEFT/AHEFT beat dynamic Min-Min."""
+        params = RandomDAGParameters(v=40, out_degree=0.3, ccr=5.0, beta=0.5, omega_dag=100.0)
+        case = generate_random_case(params, seed=11)
+        pool = ResourceChangeModel(initial_size=8, interval=500.0, fraction=0.2).build_pool()
+        static = run_static(case.workflow, case.costs, pool)
+        adaptive = run_adaptive(case.workflow, case.costs, pool)
+        dynamic = run_dynamic(case.workflow, case.costs, pool)
+        assert adaptive.makespan <= static.makespan + 1e-9
+        assert dynamic.makespan > adaptive.makespan

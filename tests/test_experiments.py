@@ -1,0 +1,222 @@
+"""Tests for the experiment harness: metrics, config grids, runner, sweeps, reporting."""
+
+import pytest
+
+from repro.experiments.config import (
+    APPLICATION_GRID,
+    RANDOM_DAG_GRID,
+    ApplicationExperimentConfig,
+    RandomExperimentConfig,
+    iter_random_grid,
+    sample_application_grid,
+    sample_random_grid,
+)
+from repro.experiments.metrics import (
+    average,
+    improvement_rate,
+    makespan_statistics,
+    resource_utilisation,
+    schedule_length_ratio,
+    speedup,
+)
+from repro.experiments.reporting import (
+    format_table,
+    render_case_results,
+    render_improvement_table,
+    render_series,
+)
+from repro.experiments.runner import ExperimentCase, run_case
+from repro.experiments.sweep import (
+    aggregate_results,
+    improvement_rate_by,
+    run_cases,
+    sweep_application_parameter,
+    sweep_random_parameter,
+)
+from repro.resources.dynamics import ResourceChangeModel
+from repro.scheduling.heft import heft_schedule
+
+
+class TestMetrics:
+    def test_improvement_rate(self):
+        assert improvement_rate(100.0, 80.0) == pytest.approx(0.2)
+        assert improvement_rate(0.0, 10.0) == 0.0
+        assert improvement_rate(100.0, 120.0) == pytest.approx(-0.2)
+
+    def test_average(self):
+        assert average([1.0, 2.0, 3.0]) == 2.0
+        assert average([]) == 0.0
+
+    def test_makespan_statistics(self):
+        stats = makespan_statistics([10.0, 20.0, 30.0])
+        assert stats.count == 3
+        assert stats.mean == 20.0
+        assert stats.minimum == 10.0 and stats.maximum == 30.0
+        assert makespan_statistics([]).count == 0
+
+    def test_slr_and_speedup_bounds(self, sample_workflow, sample_costs):
+        resources = ["r1", "r2", "r3"]
+        schedule = heft_schedule(sample_workflow, sample_costs, resources)
+        slr = schedule_length_ratio(sample_workflow, sample_costs, schedule.makespan(), resources)
+        assert slr >= 1.0
+        sp = speedup(sample_workflow, sample_costs, schedule.makespan(), resources)
+        assert sp >= 1.0
+
+    def test_resource_utilisation(self, sample_workflow, sample_costs):
+        resources = ["r1", "r2", "r3"]
+        schedule = heft_schedule(sample_workflow, sample_costs, resources)
+        utilisation = resource_utilisation(schedule, resources)
+        assert set(utilisation) == set(resources)
+        assert all(0.0 <= value <= 1.0 for value in utilisation.values())
+
+
+class TestConfig:
+    def test_grids_match_paper_tables(self):
+        assert RANDOM_DAG_GRID["v"] == (20, 40, 60, 80, 100)
+        assert RANDOM_DAG_GRID["ccr"] == (0.1, 0.5, 1.0, 5.0, 10.0)
+        assert APPLICATION_GRID["parallelism"] == (200, 400, 600, 800, 1000)
+        assert APPLICATION_GRID["interval"] == (400, 800, 1200, 1600)
+
+    def test_random_config_builds_consistent_case(self):
+        config = RandomExperimentConfig(v=25, ccr=0.5, resources=5, seed=3)
+        case = config.build_case()
+        assert case.workflow.num_jobs == 25
+        model = config.build_resource_model()
+        assert model.initial_size == 5
+        assert config.as_params()["ccr"] == 0.5
+
+    def test_application_config_builds_case(self):
+        config = ApplicationExperimentConfig(application="wien2k", parallelism=5, seed=1)
+        case = config.build_case()
+        assert case.workflow.num_jobs == 2 * 5 + 8
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationExperimentConfig(application="nonsense")
+
+    def test_full_grid_iteration_size(self):
+        small_grid = dict(RANDOM_DAG_GRID)
+        small_grid["v"] = (20,)
+        small_grid["ccr"] = (1.0,)
+        small_grid["out_degree"] = (0.2,)
+        small_grid["beta"] = (0.5,)
+        configs = list(iter_random_grid(small_grid))
+        assert len(configs) == 5 * 4 * 4  # resources x interval x fraction
+
+    def test_sampling_is_deterministic(self):
+        a = sample_random_grid(5, seed=2)
+        b = sample_random_grid(5, seed=2)
+        c = sample_random_grid(5, seed=3)
+        assert a == b
+        assert a != c
+        assert len(sample_application_grid("blast", 4, seed=1)) == 4
+
+
+class TestRunnerAndSweep:
+    @pytest.fixture
+    def tiny_experiment(self):
+        config = RandomExperimentConfig(v=20, ccr=1.0, resources=4, interval=200.0,
+                                        fraction=0.25, omega_dag=80.0, seed=5)
+        return ExperimentCase(config.build_case(), config.build_resource_model())
+
+    def test_run_case_returns_all_strategies(self, tiny_experiment):
+        result = run_case(tiny_experiment, strategies=("HEFT", "AHEFT", "MinMin"))
+        assert set(result.makespans) == {"HEFT", "AHEFT", "MinMin"}
+        assert result.makespans["AHEFT"] <= result.makespans["HEFT"] + 1e-9
+        assert result.improvement() >= -1e-9
+
+    def test_unknown_strategy_rejected(self, tiny_experiment):
+        with pytest.raises(KeyError):
+            run_case(tiny_experiment, strategies=("HEFT", "nope"))
+
+    def test_run_cases_and_aggregation(self, tiny_experiment):
+        results = run_cases([tiny_experiment, tiny_experiment], strategies=("HEFT", "AHEFT"))
+        assert len(results) == 2
+        grouped = aggregate_results(results, group_key="v")
+        assert 20 in grouped
+        rates = improvement_rate_by(results, group_key="v")
+        assert 20 in rates
+
+    def test_sweep_random_parameter_shapes(self):
+        points = sweep_random_parameter(
+            "ccr",
+            [0.5, 5.0],
+            base_config=RandomExperimentConfig(v=20, resources=4, interval=200.0,
+                                               fraction=0.25, omega_dag=80.0),
+            instances=2,
+            strategies=("HEFT", "AHEFT"),
+            seed=3,
+        )
+        assert [p.value for p in points] == [0.5, 5.0]
+        for point in points:
+            assert point.case_count == 2
+            assert point.mean_makespans["AHEFT"] <= point.mean_makespans["HEFT"] + 1e-9
+            assert point.improvement() >= -1e-9
+
+    def test_sweep_application_parameter(self):
+        points = sweep_application_parameter(
+            "blast",
+            "parallelism",
+            [5, 10],
+            base_config=ApplicationExperimentConfig(
+                application="blast", resources=3, interval=200.0, fraction=0.5,
+                omega_dag=80.0,
+            ),
+            instances=1,
+            strategies=("HEFT", "AHEFT"),
+            seed=2,
+        )
+        assert len(points) == 2
+        assert points[1].mean_makespans["HEFT"] > points[0].mean_makespans["HEFT"]
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_random_parameter("bogus", [1])
+        with pytest.raises(ValueError):
+            sweep_application_parameter("blast", "bogus", [1])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "metric"], [["x", 1.234], ["longer", 5.6]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.2" in lines[2]
+
+    def test_render_improvement_table(self):
+        points = sweep_random_parameter(
+            "ccr",
+            [1.0],
+            base_config=RandomExperimentConfig(v=20, resources=4, interval=200.0,
+                                               fraction=0.25, omega_dag=80.0),
+            instances=1,
+            seed=1,
+        )
+        text = render_improvement_table(points, title="Table 3")
+        assert "Table 3" in text
+        assert "%" in text
+        assert render_improvement_table([]) == "(no data)"
+
+    def test_render_series(self):
+        points = sweep_application_parameter(
+            "blast", "ccr", [1.0],
+            base_config=ApplicationExperimentConfig(application="blast", parallelism=5,
+                                                    resources=3, interval=200.0,
+                                                    fraction=0.5, omega_dag=80.0),
+            instances=1, seed=1,
+        )
+        text = render_series({"BLAST": points}, title="Fig 8(a)")
+        assert "HEFT1(BLAST)" in text
+        assert "Fig 8(a)" in text
+        assert render_series({}) == "(no data)"
+
+    def test_render_case_results(self, small_random_case):
+        config = RandomExperimentConfig(v=20, resources=4, interval=200.0, fraction=0.25,
+                                        omega_dag=80.0, seed=9)
+        result = run_case(
+            ExperimentCase(config.build_case(), config.build_resource_model()),
+            strategies=("HEFT", "AHEFT"),
+        )
+        text = render_case_results([result])
+        assert "HEFT" in text and "%" in text
+        assert render_case_results([]) == "(no data)"

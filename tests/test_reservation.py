@@ -1,0 +1,87 @@
+"""Tests for advance reservations (Executor's Resource Manager)."""
+
+import pytest
+
+from repro.resources.reservation import Reservation, ReservationBook, ReservationConflict
+
+
+class TestReservation:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            Reservation("r1", "j1", start=5.0, end=4.0)
+
+    def test_overlap_detection(self):
+        a = Reservation("r1", "j1", 0.0, 10.0)
+        b = Reservation("r1", "j2", 5.0, 15.0)
+        c = Reservation("r1", "j3", 10.0, 20.0)
+        d = Reservation("r2", "j4", 0.0, 100.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # touching intervals do not overlap
+        assert not a.overlaps(d)  # different resource
+
+    def test_zero_length_never_overlaps(self):
+        a = Reservation("r1", "j1", 5.0, 5.0)
+        b = Reservation("r1", "j2", 0.0, 10.0)
+        assert not a.overlaps(b)
+
+
+class TestReservationBook:
+    def test_reserve_and_query(self):
+        book = ReservationBook()
+        book.reserve(Reservation("r1", "j1", 0.0, 10.0))
+        book.reserve(Reservation("r1", "j2", 10.0, 20.0))
+        assert len(book.reservations("r1")) == 2
+        assert not book.has_conflicts()
+
+    def test_conflict_raises(self):
+        book = ReservationBook()
+        book.reserve(Reservation("r1", "j1", 0.0, 10.0))
+        with pytest.raises(ReservationConflict):
+            book.reserve(Reservation("r1", "j2", 5.0, 8.0))
+
+    def test_allow_conflict_flag(self):
+        book = ReservationBook()
+        book.reserve(Reservation("r1", "j1", 0.0, 10.0))
+        book.reserve(Reservation("r1", "j2", 5.0, 8.0), allow_conflict=True)
+        assert book.has_conflicts()
+        assert len(book.conflicts()) == 1
+
+    def test_reserve_schedule_and_revoke_plan(self):
+        book = ReservationBook()
+        book.reserve_schedule(
+            [("j1", "r1", 0.0, 10.0), ("j2", "r2", 0.0, 5.0)], plan_id="plan-A"
+        )
+        book.reserve_schedule([("j3", "r1", 20.0, 30.0)], plan_id="plan-B")
+        removed = book.revoke_plan("plan-A")
+        assert removed == 2
+        assert [r.plan_id for r in book.reservations()] == ["plan-B"]
+
+    def test_revoke_plan_after_keeps_started_work(self):
+        """Rescheduling keeps reservations of already-started jobs (paper §3.2)."""
+        book = ReservationBook()
+        book.reserve_schedule(
+            [("j1", "r1", 0.0, 10.0), ("j2", "r1", 12.0, 20.0)], plan_id="plan-A"
+        )
+        removed = book.revoke_plan("plan-A", after=11.0)
+        assert removed == 1
+        remaining = book.reservations_for_plan("plan-A")
+        assert [r.job_id for r in remaining] == ["j1"]
+
+    def test_utilisation(self):
+        book = ReservationBook()
+        book.reserve(Reservation("r1", "j1", 0.0, 25.0))
+        book.reserve(Reservation("r1", "j2", 50.0, 75.0))
+        assert book.utilisation("r1", horizon=100.0) == pytest.approx(0.5)
+
+    def test_utilisation_requires_positive_horizon(self):
+        book = ReservationBook()
+        with pytest.raises(ValueError):
+            book.utilisation("r1", horizon=0.0)
+
+    def test_rescheduling_workflow_has_no_conflicts(self):
+        """Revoking the old plan before booking the new one never conflicts."""
+        book = ReservationBook()
+        book.reserve_schedule([("j1", "r1", 0.0, 10.0), ("j2", "r1", 10.0, 20.0)], plan_id="S0")
+        book.revoke_plan("S0", after=5.0)
+        book.reserve_schedule([("j2", "r1", 12.0, 18.0)], plan_id="S1")
+        assert not book.has_conflicts()

@@ -1,0 +1,171 @@
+"""Tests for scheduling data structures: Assignment, Schedule, timelines, state."""
+
+import pytest
+
+from repro.scheduling.base import (
+    Assignment,
+    ExecutionState,
+    JobStatus,
+    ResourceTimeline,
+    Schedule,
+)
+
+
+class TestAssignment:
+    def test_duration(self):
+        a = Assignment("j", "r", 2.0, 5.0)
+        assert a.duration == 3.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment("j", "r", 5.0, 2.0)
+
+    def test_shifted(self):
+        a = Assignment("j", "r", 2.0, 5.0).shifted(10.0)
+        assert (a.start, a.finish) == (12.0, 15.0)
+
+
+class TestResourceTimeline:
+    def test_append_without_insertion(self):
+        tl = ResourceTimeline("r1")
+        tl.occupy(0.0, 10.0, "a")
+        assert tl.earliest_start(0.0, 5.0, insertion=False) == 10.0
+
+    def test_insertion_finds_gap(self):
+        tl = ResourceTimeline("r1")
+        tl.occupy(0.0, 5.0, "a")
+        tl.occupy(20.0, 30.0, "b")
+        assert tl.earliest_start(0.0, 10.0, insertion=True) == 5.0
+
+    def test_insertion_skips_too_small_gap(self):
+        tl = ResourceTimeline("r1")
+        tl.occupy(0.0, 5.0, "a")
+        tl.occupy(8.0, 30.0, "b")
+        assert tl.earliest_start(0.0, 10.0, insertion=True) == 30.0
+
+    def test_ready_time_and_available_from(self):
+        tl = ResourceTimeline("r1", available_from=7.0)
+        assert tl.ready_time() == 7.0
+        assert tl.earliest_start(0.0, 1.0) == 7.0
+        tl.occupy(7.0, 9.0, "a")
+        assert tl.ready_time() == 9.0
+
+    def test_overlap_rejected(self):
+        tl = ResourceTimeline("r1")
+        tl.occupy(0.0, 10.0, "a")
+        with pytest.raises(ValueError, match="overlaps"):
+            tl.occupy(5.0, 15.0, "b")
+
+    def test_touching_intervals_allowed(self):
+        tl = ResourceTimeline("r1")
+        tl.occupy(0.0, 10.0, "a")
+        tl.occupy(10.0, 20.0, "b")
+        assert len(tl.intervals()) == 2
+
+    def test_utilisation(self):
+        tl = ResourceTimeline("r1")
+        tl.occupy(0.0, 5.0, "a")
+        assert tl.utilisation(10.0) == pytest.approx(0.5)
+
+
+class TestSchedule:
+    def _schedule(self):
+        s = Schedule(name="test")
+        s.add(Assignment("a", "r1", 0.0, 5.0))
+        s.add(Assignment("b", "r1", 5.0, 9.0))
+        s.add(Assignment("c", "r2", 1.0, 4.0))
+        return s
+
+    def test_basic_queries(self):
+        s = self._schedule()
+        assert len(s) == 3
+        assert "a" in s and "ghost" not in s
+        assert s.resource_of("c") == "r2"
+        assert s.scheduled_finish_time("b") == 9.0
+        assert s.makespan() == 9.0
+
+    def test_empty_makespan_zero(self):
+        assert Schedule().makespan() == 0.0
+
+    def test_assignments_on_sorted(self):
+        s = self._schedule()
+        on_r1 = s.assignments_on("r1")
+        assert [a.job_id for a in on_r1] == ["a", "b"]
+
+    def test_replace_assignment(self):
+        s = self._schedule()
+        s.add(Assignment("a", "r2", 0.0, 3.0))
+        assert s.resource_of("a") == "r2"
+        assert len(s) == 3
+
+    def test_copy_is_independent(self):
+        s = self._schedule()
+        clone = s.copy(name="clone")
+        clone.add(Assignment("d", "r2", 4.0, 6.0))
+        assert "d" in clone and "d" not in s
+
+    def test_timelines_reflect_assignments(self):
+        s = self._schedule()
+        timelines = s.timelines(["r1", "r2", "r3"])
+        assert timelines["r1"].ready_time() == 9.0
+        assert timelines["r3"].ready_time() == 0.0
+
+    def test_gantt_rows_and_dict(self):
+        s = self._schedule()
+        rows = s.gantt_rows()
+        assert rows[0][0] == "r1"
+        as_dict = s.to_dict()
+        assert as_dict["a"]["resource"] == "r1"
+        assert as_dict["c"]["finish"] == 4.0
+
+    def test_resources_used(self):
+        assert self._schedule().resources_used() == ["r1", "r2"]
+
+
+class TestExecutionState:
+    def test_initial_state(self):
+        state = ExecutionState.initial(["a", "b"])
+        assert state.job_status("a") is JobStatus.NOT_STARTED
+        assert state.not_started_jobs() == ["a", "b"]
+        assert not state.all_finished()
+
+    def test_record_lifecycle(self):
+        state = ExecutionState.initial(["a"])
+        state.record_start("a", "r1", 1.0)
+        assert state.is_running("a")
+        state.record_finish("a", 3.0)
+        assert state.is_finished("a")
+        assert state.actual_finish["a"] == 3.0
+        assert state.data_available_at("a", "r1") == 3.0
+        assert state.all_finished()
+
+    def test_finish_without_start_raises(self):
+        state = ExecutionState.initial(["a"])
+        with pytest.raises(ValueError):
+            state.record_finish("a", 3.0)
+
+    def test_data_arrival_keeps_earliest(self):
+        state = ExecutionState.initial(["a"])
+        state.record_data_arrival("a", "r2", 10.0)
+        state.record_data_arrival("a", "r2", 8.0)
+        state.record_data_arrival("a", "r2", 12.0)
+        assert state.data_available_at("a", "r2") == 8.0
+
+    def test_from_schedule_statuses(self):
+        schedule = Schedule()
+        schedule.add(Assignment("a", "r1", 0.0, 5.0))
+        schedule.add(Assignment("b", "r1", 5.0, 12.0))
+        schedule.add(Assignment("c", "r2", 20.0, 25.0))
+        state = ExecutionState.from_schedule(schedule, clock=10.0)
+        assert state.is_finished("a")
+        assert state.is_running("b")
+        assert state.is_not_started("c")
+        assert state.executed_on["a"] == "r1"
+        assert state.actual_finish["a"] == 5.0
+        assert state.data_available_at("a", "r1") == 5.0
+
+    def test_from_schedule_with_explicit_job_list(self):
+        schedule = Schedule()
+        schedule.add(Assignment("a", "r1", 0.0, 5.0))
+        state = ExecutionState.from_schedule(schedule, clock=1.0, jobs=["a", "b"])
+        assert state.job_status("b") is JobStatus.NOT_STARTED

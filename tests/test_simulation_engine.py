@@ -1,0 +1,121 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine, SimulationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(5.0, lambda: seen.append("late"))
+        engine.schedule_at(1.0, lambda: seen.append("early"))
+        engine.run()
+        assert seen == ["early", "late"]
+
+    def test_ties_run_in_insertion_order(self):
+        engine = SimulationEngine()
+        seen = []
+        for index in range(5):
+            engine.schedule_at(3.0, lambda i=index: seen.append(i))
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties_before_sequence(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(3.0, lambda: seen.append("low"), priority=5)
+        engine.schedule_at(3.0, lambda: seen.append("high"), priority=0)
+        engine.run()
+        assert seen == ["high", "low"]
+
+    def test_schedule_in_uses_relative_delay(self):
+        engine = SimulationEngine(start_time=10.0)
+        times = []
+        engine.schedule_in(5.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [15.0]
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1.0, lambda: None)
+
+    def test_callbacks_can_schedule_more_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def first():
+            seen.append(engine.now)
+            engine.schedule_in(2.0, lambda: seen.append(engine.now))
+
+        engine.schedule_at(1.0, first)
+        engine.run()
+        assert seen == [1.0, 3.0]
+
+    def test_clock_never_goes_backwards(self):
+        engine = SimulationEngine()
+        times = []
+        for t in [4.0, 2.0, 9.0, 2.0]:
+            engine.schedule_at(t, lambda: times.append(engine.now))
+        engine.run()
+        assert times == sorted(times)
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(1.0, lambda: seen.append(1))
+        engine.schedule_at(100.0, lambda: seen.append(100))
+        final = engine.run(until=50.0)
+        assert seen == [1]
+        assert final == 50.0
+        assert engine.pending_events == 1
+
+    def test_stop_inside_callback(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(1.0, lambda: (seen.append(1), engine.stop()))
+        engine.schedule_at(2.0, lambda: seen.append(2))
+        engine.run()
+        assert seen == [1]
+
+    def test_cancelled_events_are_skipped(self):
+        engine = SimulationEngine()
+        seen = []
+        event = engine.schedule_at(1.0, lambda: seen.append("cancelled"))
+        engine.schedule_at(2.0, lambda: seen.append("kept"))
+        event.cancel()
+        engine.run()
+        assert seen == ["kept"]
+
+    def test_step_returns_false_when_empty(self):
+        engine = SimulationEngine()
+        assert engine.step() is False
+
+    def test_processed_event_counter(self):
+        engine = SimulationEngine()
+        for t in range(5):
+            engine.schedule_at(float(t), lambda: None)
+        engine.run()
+        assert engine.processed_events == 5
+
+    def test_max_events_guard(self):
+        engine = SimulationEngine(max_events=10)
+
+        def rescheduling():
+            engine.schedule_in(1.0, rescheduling)
+
+        engine.schedule_at(0.0, rescheduling)
+        with pytest.raises(SimulationError, match="maximum"):
+            engine.run()
+
+    def test_peek_next_time(self):
+        engine = SimulationEngine()
+        assert engine.peek_next_time() is None
+        engine.schedule_at(7.0, lambda: None)
+        assert engine.peek_next_time() == 7.0

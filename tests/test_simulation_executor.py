@@ -1,0 +1,112 @@
+"""Tests for the grid executors (static replay and just-in-time Min-Min)."""
+
+import pytest
+
+from repro.generators.sample import sample_dag_cost_model, sample_dag_pool, sample_dag_workflow
+from repro.resources.pool import ResourcePool
+from repro.resources.resource import Resource
+from repro.scheduling.heft import heft_schedule
+from repro.scheduling.minmin import MinMinScheduler
+from repro.scheduling.validation import validate_schedule
+from repro.simulation.executor import JustInTimeExecutor, StaticScheduleExecutor
+from repro.workflow.costs import TabularCostModel
+
+
+class TestStaticScheduleExecutor:
+    def test_accurate_execution_reproduces_the_plan(self, sample_workflow, sample_costs):
+        pool = ResourcePool([Resource("r1"), Resource("r2"), Resource("r3")])
+        schedule = heft_schedule(sample_workflow, sample_costs, ["r1", "r2", "r3"])
+        trace = StaticScheduleExecutor(sample_workflow, sample_costs, schedule, pool).run()
+        assert trace.makespan() == pytest.approx(schedule.makespan())
+        for job in sample_workflow.jobs:
+            assert trace.actual_start(job) == pytest.approx(schedule.scheduled_start_time(job))
+            assert trace.actual_finish(job) == pytest.approx(schedule.scheduled_finish_time(job))
+            assert trace.resource_of(job) == schedule.resource_of(job)
+
+    def test_transfers_recorded_between_distinct_resources(self, sample_workflow, sample_costs):
+        pool = ResourcePool([Resource("r1"), Resource("r2"), Resource("r3")])
+        schedule = heft_schedule(sample_workflow, sample_costs, ["r1", "r2", "r3"])
+        trace = StaticScheduleExecutor(sample_workflow, sample_costs, schedule, pool).run()
+        assert trace.transfers  # the sample DAG spans several resources
+        for transfer in trace.transfers:
+            assert transfer.source_resource != transfer.target_resource
+            assert transfer.finish > transfer.start
+
+    def test_incomplete_schedule_rejected(self, diamond_workflow, diamond_costs, two_resource_pool):
+        schedule = heft_schedule(diamond_workflow, diamond_costs, ["r1", "r2"])
+        partial = type(schedule)()
+        partial.add(schedule.assignment("a"))
+        with pytest.raises(ValueError, match="does not cover"):
+            StaticScheduleExecutor(diamond_workflow, diamond_costs, partial, two_resource_pool)
+
+    def test_unknown_resource_rejected(self, diamond_workflow, diamond_costs):
+        schedule = heft_schedule(diamond_workflow, diamond_costs, ["r1", "r2"])
+        pool = ResourcePool([Resource("r1")])
+        with pytest.raises(ValueError, match="unknown resource"):
+            StaticScheduleExecutor(diamond_workflow, diamond_costs, schedule, pool).run()
+
+    def test_slower_actual_costs_stretch_the_trace(self, diamond_workflow, diamond_costs, two_resource_pool):
+        schedule = heft_schedule(diamond_workflow, diamond_costs, ["r1", "r2"])
+        slow = TabularCostModel(
+            diamond_workflow,
+            {
+                job: {"r1": 2.0 * diamond_costs.computation_cost(job, "r1"),
+                      "r2": 2.0 * diamond_costs.computation_cost(job, "r2")}
+                for job in diamond_workflow.jobs
+            },
+        )
+        trace = StaticScheduleExecutor(
+            diamond_workflow, diamond_costs, schedule, two_resource_pool, actual_costs=slow
+        ).run()
+        assert trace.makespan() > schedule.makespan()
+        # the executed trace is still a feasible schedule
+        assert validate_schedule(diamond_workflow, diamond_costs, trace.to_schedule()) == []
+
+    def test_trace_respects_precedence_and_exclusivity(self, small_random_case):
+        wf, costs = small_random_case.workflow, small_random_case.costs
+        pool = ResourcePool([Resource(f"r{i}") for i in range(1, 4)])
+        schedule = heft_schedule(wf, costs, ["r1", "r2", "r3"])
+        trace = StaticScheduleExecutor(wf, costs, schedule, pool).run()
+        assert validate_schedule(wf, costs, trace.to_schedule()) == []
+
+
+class TestJustInTimeExecutor:
+    def test_executes_every_job(self, small_random_case):
+        wf, costs = small_random_case.workflow, small_random_case.costs
+        pool = ResourcePool([Resource(f"r{i}") for i in range(1, 4)])
+        trace = JustInTimeExecutor(wf, costs, pool).run()
+        assert len(trace.jobs()) == wf.num_jobs
+        assert trace.makespan() > 0
+
+    def test_trace_is_feasible(self, small_random_case):
+        wf, costs = small_random_case.workflow, small_random_case.costs
+        pool = ResourcePool([Resource(f"r{i}") for i in range(1, 4)])
+        trace = JustInTimeExecutor(wf, costs, pool).run()
+        assert validate_schedule(wf, costs, trace.to_schedule()) == []
+
+    def test_uses_resources_that_join_later(self, sample_workflow, sample_costs):
+        # with only one initial resource and a second joining immediately,
+        # the dynamic mapper spreads work once the second resource exists
+        pool = ResourcePool([Resource("r1"), Resource("r2", available_from=5.0)])
+        trace = JustInTimeExecutor(sample_workflow, sample_costs, pool).run()
+        assert set(trace.resources_used()) >= {"r1"}
+        assert len(trace.jobs()) == sample_workflow.num_jobs
+
+    def test_strategy_name_follows_mapper(self, diamond_workflow, diamond_costs, two_resource_pool):
+        executor = JustInTimeExecutor(
+            diamond_workflow, diamond_costs, two_resource_pool, mapper=MinMinScheduler()
+        )
+        assert executor.strategy_name == "MinMin"
+
+    def test_no_resources_at_start_raises(self, diamond_workflow, diamond_costs):
+        pool = ResourcePool([Resource("r1", available_from=100.0)])
+        with pytest.raises(Exception):
+            JustInTimeExecutor(diamond_workflow, diamond_costs, pool).run()
+
+    def test_paper_assumption_dynamic_never_beats_static_on_sample(
+        self, sample_workflow, sample_costs, sample_pool
+    ):
+        """On the worked example the dynamic strategy is no better than HEFT."""
+        heft = heft_schedule(sample_workflow, sample_costs, ["r1", "r2", "r3"])
+        trace = JustInTimeExecutor(sample_workflow, sample_costs, sample_pool).run()
+        assert trace.makespan() >= heft.makespan() - 1e-9

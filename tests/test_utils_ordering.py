@@ -1,0 +1,64 @@
+"""Tests for deterministic ordering helpers."""
+
+import pytest
+
+from repro.utils.ordering import argsort_stable, stable_min, topological_order
+
+
+class TestArgsortStable:
+    def test_sorts_by_value(self):
+        assert argsort_stable({"a": 3.0, "b": 1.0, "c": 2.0}) == ["b", "c", "a"]
+
+    def test_reverse(self):
+        assert argsort_stable({"a": 3.0, "b": 1.0, "c": 2.0}, reverse=True) == [
+            "a",
+            "c",
+            "b",
+        ]
+
+    def test_ties_broken_by_key(self):
+        assert argsort_stable({"z": 1.0, "a": 1.0, "m": 1.0}) == ["a", "m", "z"]
+
+    def test_ties_broken_by_key_in_reverse_too(self):
+        assert argsort_stable({"z": 1.0, "a": 1.0}, reverse=True) == ["a", "z"]
+
+
+class TestStableMin:
+    def test_picks_minimum(self):
+        assert stable_min([3, 1, 2], key=lambda x: x) == 1
+
+    def test_tie_broken_by_repr(self):
+        assert stable_min(["bb", "aa"], key=len) == "aa"
+
+    def test_tolerance_treats_close_values_as_ties(self):
+        values = {"b": 1.0, "a": 1.0000001}
+        assert stable_min(values, key=values.get, tolerance=1e-3) == "a"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            stable_min([], key=lambda x: x)
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        order = topological_order(["a", "b", "c"], {"a": ["b"], "b": ["c"]})
+        assert order == ["a", "b", "c"]
+
+    def test_diamond_respects_dependencies(self):
+        order = topological_order(
+            ["d", "c", "b", "a"], {"a": ["b", "c"], "b": ["d"], "c": ["d"]}
+        )
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_deterministic_tie_break(self):
+        order = topological_order(["b", "a", "c"], {})
+        assert order == ["a", "b", "c"]
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError, match="cycle"):
+            topological_order(["a", "b"], {"a": ["b"], "b": ["a"]})
+
+    def test_unknown_edge_target_raises(self):
+        with pytest.raises(ValueError):
+            topological_order(["a"], {"a": ["ghost"]})

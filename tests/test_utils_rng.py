@@ -1,0 +1,77 @@
+"""Tests for deterministic RNG stream derivation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomSource, derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_different_tokens_differ(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_token_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_int_and_float_tokens_distinct(self):
+        assert derive_seed(0, 1) != derive_seed(0, 1.0)
+
+    def test_bool_distinct_from_int(self):
+        assert derive_seed(0, True) != derive_seed(0, 1)
+
+    def test_bytes_token(self):
+        assert derive_seed(0, b"x") == derive_seed(0, b"x")
+
+    def test_result_fits_in_63_bits(self):
+        for token in range(50):
+            seed = derive_seed(7, token)
+            assert 0 <= seed < 2**63
+
+    def test_unsupported_token_type_raises(self):
+        with pytest.raises(TypeError):
+            derive_seed(0, object())
+
+
+class TestSpawnRng:
+    def test_reproducible_stream(self):
+        a = spawn_rng(5, "stream").random(10)
+        b = spawn_rng(5, "stream").random(10)
+        assert np.allclose(a, b)
+
+    def test_independent_streams(self):
+        a = spawn_rng(5, "one").random(10)
+        b = spawn_rng(5, "two").random(10)
+        assert not np.allclose(a, b)
+
+
+class TestRandomSource:
+    def test_named_streams_reproducible(self):
+        src = RandomSource(seed=9)
+        assert src.rng("x").random() == src.rng("x").random()
+
+    def test_child_namespacing(self):
+        src = RandomSource(seed=9)
+        child = src.child("sub")
+        assert child.rng("x").random() != src.rng("x").random()
+
+    def test_integers_in_range(self):
+        src = RandomSource(seed=3)
+        for i in range(20):
+            value = src.integers(2, 7, "draw", i)
+            assert 2 <= value < 7
+
+    def test_choice_picks_member(self):
+        src = RandomSource(seed=3)
+        options = ["a", "b", "c"]
+        assert src.choice(options, "pick") in options
+
+    def test_choice_empty_raises(self):
+        src = RandomSource(seed=3)
+        with pytest.raises(ValueError):
+            src.choice([], "pick")

@@ -1,0 +1,101 @@
+"""Tests for schedule feasibility validation."""
+
+import pytest
+
+from repro.resources.pool import ResourcePool
+from repro.resources.resource import Resource
+from repro.scheduling.base import Assignment, Schedule
+from repro.scheduling.validation import (
+    ScheduleValidationError,
+    check_no_overlap,
+    check_precedence,
+    check_resource_availability,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def good_schedule(diamond_workflow, diamond_costs):
+    s = Schedule()
+    s.add(Assignment("a", "r1", 0.0, 2.0))
+    s.add(Assignment("b", "r2", 4.0, 6.0))   # 2 + comm 2 = 4
+    s.add(Assignment("c", "r1", 2.0, 7.0))   # local data
+    s.add(Assignment("d", "r1", 11.0, 13.0))  # needs b's data: 6 + 1 = 7, c local 7 -> 11 ok
+    return s
+
+
+class TestPrecedence:
+    def test_valid_schedule_has_no_violations(self, diamond_workflow, diamond_costs, good_schedule):
+        assert check_precedence(diamond_workflow, diamond_costs, good_schedule) == []
+
+    def test_detects_missing_communication_delay(self, diamond_workflow, diamond_costs):
+        s = Schedule()
+        s.add(Assignment("a", "r1", 0.0, 2.0))
+        s.add(Assignment("b", "r2", 2.5, 4.5))  # needs 2 + comm 2 = 4
+        problems = check_precedence(diamond_workflow, diamond_costs, s)
+        assert len(problems) == 1
+        assert "b" in problems[0]
+
+    def test_partial_schedules_only_check_present_jobs(self, diamond_workflow, diamond_costs):
+        s = Schedule()
+        s.add(Assignment("a", "r1", 0.0, 2.0))
+        assert check_precedence(diamond_workflow, diamond_costs, s) == []
+
+
+class TestOverlap:
+    def test_overlap_detected(self):
+        s = Schedule()
+        s.add(Assignment("a", "r1", 0.0, 5.0))
+        s.add(Assignment("b", "r1", 4.0, 9.0))
+        assert len(check_no_overlap(s)) == 1
+
+    def test_touching_allowed(self):
+        s = Schedule()
+        s.add(Assignment("a", "r1", 0.0, 5.0))
+        s.add(Assignment("b", "r1", 5.0, 9.0))
+        assert check_no_overlap(s) == []
+
+
+class TestResourceAvailability:
+    def test_unknown_resource_flagged(self):
+        s = Schedule()
+        s.add(Assignment("a", "ghost", 0.0, 5.0))
+        pool = ResourcePool([Resource("r1")])
+        assert "unknown resource" in check_resource_availability(s, pool)[0]
+
+    def test_start_before_join_flagged(self):
+        s = Schedule()
+        s.add(Assignment("a", "r1", 0.0, 5.0))
+        pool = ResourcePool([Resource("r1", available_from=3.0)])
+        problems = check_resource_availability(s, pool)
+        assert len(problems) == 1 and "joins" in problems[0]
+
+    def test_finish_after_departure_flagged(self):
+        s = Schedule()
+        s.add(Assignment("a", "r1", 0.0, 5.0))
+        pool = ResourcePool([Resource("r1", available_until=4.0)])
+        problems = check_resource_availability(s, pool)
+        assert len(problems) == 1 and "leaves" in problems[0]
+
+
+class TestValidateSchedule:
+    def test_complete_valid_schedule_passes(self, diamond_workflow, diamond_costs, good_schedule):
+        assert validate_schedule(diamond_workflow, diamond_costs, good_schedule) == []
+
+    def test_missing_job_detected(self, diamond_workflow, diamond_costs, good_schedule):
+        incomplete = Schedule()
+        incomplete.add(good_schedule.assignment("a"))
+        with pytest.raises(ScheduleValidationError, match="not scheduled"):
+            validate_schedule(diamond_workflow, diamond_costs, incomplete)
+
+    def test_raise_on_error_false_returns_list(self, diamond_workflow, diamond_costs):
+        incomplete = Schedule()
+        problems = validate_schedule(
+            diamond_workflow, diamond_costs, incomplete, raise_on_error=False
+        )
+        assert len(problems) == 4  # each diamond job is missing
+
+    def test_pool_check_included_when_pool_given(self, diamond_workflow, diamond_costs, good_schedule):
+        pool = ResourcePool([Resource("r1"), Resource("r2", available_from=100.0)])
+        with pytest.raises(ScheduleValidationError, match="joins"):
+            validate_schedule(diamond_workflow, diamond_costs, good_schedule, pool=pool)

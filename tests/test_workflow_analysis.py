@@ -1,0 +1,122 @@
+"""Tests for DAG analyses: ranks, critical path, parallelism."""
+
+import pytest
+
+from repro.generators.sample import sample_dag_cost_model, sample_dag_workflow
+from repro.workflow.analysis import (
+    average_parallelism,
+    critical_path,
+    critical_path_length,
+    dag_levels,
+    downward_ranks,
+    max_parallelism,
+    parallelism_profile,
+    upward_ranks,
+)
+from repro.workflow.costs import UniformCostModel
+
+
+class TestUpwardRanks:
+    def test_exit_rank_equals_average_cost(self, diamond_workflow, diamond_costs):
+        ranks = upward_ranks(diamond_workflow, diamond_costs)
+        assert ranks["d"] == pytest.approx(
+            diamond_costs.average_computation_cost("d")
+        )
+
+    def test_rank_monotone_along_edges(self, diamond_workflow, diamond_costs):
+        ranks = upward_ranks(diamond_workflow, diamond_costs)
+        for src, dst, _ in diamond_workflow.edges():
+            assert ranks[src] > ranks[dst]
+
+    def test_classic_sample_rank_order(self):
+        """On the classic HEFT example, n1 has the highest rank and n10 the lowest."""
+        wf = sample_dag_workflow()
+        costs = sample_dag_cost_model(wf)
+        ranks = upward_ranks(wf, costs, ["r1", "r2", "r3"])
+        ordering = sorted(ranks, key=ranks.get, reverse=True)
+        assert ordering[0] == "n1"
+        assert ordering[-1] == "n10"
+        # the classic value for the entry node with 3 resources is 108
+        assert ranks["n1"] == pytest.approx(108.0, abs=0.5)
+
+    def test_restricting_resources_changes_averages(self, diamond_workflow, diamond_costs):
+        all_ranks = upward_ranks(diamond_workflow, diamond_costs)
+        r1_ranks = upward_ranks(diamond_workflow, diamond_costs, ["r1"])
+        assert all_ranks["a"] != r1_ranks["a"]
+
+
+class TestDownwardRanks:
+    def test_entry_rank_zero(self, diamond_workflow, diamond_costs):
+        ranks = downward_ranks(diamond_workflow, diamond_costs)
+        assert ranks["a"] == 0.0
+
+    def test_monotone_along_edges(self, diamond_workflow, diamond_costs):
+        ranks = downward_ranks(diamond_workflow, diamond_costs)
+        for src, dst, _ in diamond_workflow.edges():
+            assert ranks[dst] > ranks[src]
+
+
+class TestCriticalPath:
+    def test_path_starts_at_entry_ends_at_exit(self, diamond_workflow, diamond_costs):
+        path = critical_path(diamond_workflow, diamond_costs)
+        assert path[0] == "a"
+        assert path[-1] == "d"
+
+    def test_chooses_heavier_branch(self, diamond_workflow, diamond_costs):
+        # branch through c has comp 4.5 avg + comm 3 and 4, heavier than b
+        path = critical_path(diamond_workflow, diamond_costs)
+        assert "c" in path
+
+    def test_length_at_least_sum_of_path_nodes(self, diamond_workflow, diamond_costs):
+        length = critical_path_length(diamond_workflow, diamond_costs)
+        assert length > 0
+        no_comm = critical_path_length(
+            diamond_workflow, diamond_costs, include_communication=False
+        )
+        assert length >= no_comm
+
+    def test_minimum_cost_variant_is_lower_bound(self, diamond_workflow, diamond_costs):
+        resources = ["r1", "r2"]
+        minimal = critical_path_length(
+            diamond_workflow,
+            diamond_costs,
+            resources,
+            include_communication=False,
+            minimum_costs=True,
+        )
+        average = critical_path_length(
+            diamond_workflow, diamond_costs, resources, include_communication=False
+        )
+        assert minimal <= average
+
+
+class TestParallelism:
+    def test_levels(self, diamond_workflow):
+        levels = dag_levels(diamond_workflow)
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+    def test_profile(self, diamond_workflow):
+        assert parallelism_profile(diamond_workflow) == [1, 2, 1]
+
+    def test_max_and_average(self, diamond_workflow):
+        assert max_parallelism(diamond_workflow) == 2
+        assert average_parallelism(diamond_workflow) == pytest.approx(4 / 3)
+
+    def test_chain_has_width_one(self, chain_workflow):
+        assert max_parallelism(chain_workflow) == 1
+
+    def test_blast_width_matches_parallelism(self):
+        from repro.generators.blast import generate_blast_workflow
+
+        wf = generate_blast_workflow(7)
+        assert max_parallelism(wf) == 7
+
+    def test_wien2k_fermi_level_has_width_one(self):
+        from repro.generators.wien2k import generate_wien2k_workflow
+
+        wf = generate_wien2k_workflow(6)
+        profile = parallelism_profile(wf)
+        # widths: 1 (stagein), 1 (lapw0), 6 (lapw1), 1 (fermi), 6 (lapw2), then the tail
+        assert profile[2] == 6
+        assert profile[3] == 1
+        assert profile[4] == 6

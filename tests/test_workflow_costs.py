@@ -1,0 +1,144 @@
+"""Tests for cost models."""
+
+import pytest
+
+from repro.workflow.costs import (
+    HeterogeneousCostModel,
+    TabularCostModel,
+    UniformCostModel,
+)
+
+
+class TestTabularCostModel:
+    def test_lookup(self, diamond_workflow, diamond_costs):
+        assert diamond_costs.computation_cost("a", "r1") == 2.0
+        assert diamond_costs.computation_cost("b", "r2") == 2.0
+
+    def test_missing_job_in_table_raises(self, diamond_workflow):
+        with pytest.raises(ValueError, match="missing jobs"):
+            TabularCostModel(diamond_workflow, {"a": {"r1": 1.0}})
+
+    def test_missing_resource_strict_raises(self, diamond_costs):
+        with pytest.raises(KeyError):
+            diamond_costs.computation_cost("a", "r9")
+
+    def test_missing_resource_non_strict_returns_average(self, diamond_workflow):
+        model = TabularCostModel(
+            diamond_workflow,
+            {j: {"r1": 2.0, "r2": 4.0} for j in diamond_workflow.jobs},
+            strict=False,
+        )
+        assert model.computation_cost("a", "r9") == pytest.approx(3.0)
+
+    def test_negative_cost_rejected(self, diamond_workflow):
+        table = {j: {"r1": 1.0} for j in diamond_workflow.jobs}
+        table["a"] = {"r1": -1.0}
+        with pytest.raises(ValueError, match="negative"):
+            TabularCostModel(diamond_workflow, table)
+
+    def test_communication_zero_on_same_resource(self, diamond_costs):
+        assert diamond_costs.communication_cost("a", "b", "r1", "r1") == 0.0
+
+    def test_communication_equals_edge_data_across_resources(self, diamond_costs):
+        assert diamond_costs.communication_cost("a", "c", "r1", "r2") == 3.0
+
+    def test_average_computation(self, diamond_costs):
+        assert diamond_costs.average_computation_cost("a") == pytest.approx(3.0)
+        assert diamond_costs.average_computation_cost("a", ["r1"]) == 2.0
+
+    def test_resources_listing(self, diamond_costs):
+        assert diamond_costs.resources() == ["r1", "r2"]
+
+    def test_ccr_positive(self, diamond_costs):
+        assert diamond_costs.ccr() > 0
+
+
+class TestHeterogeneousCostModel:
+    @pytest.fixture
+    def model(self, diamond_workflow):
+        return HeterogeneousCostModel(
+            diamond_workflow,
+            {"a": 10.0, "b": 20.0, "c": 30.0, "d": 40.0},
+            beta=1.0,
+            bandwidth=2.0,
+            seed=7,
+        )
+
+    def test_costs_within_beta_band(self, model):
+        for job, base in model.base_costs.items():
+            for rid in ["r1", "r2", "r3"]:
+                cost = model.computation_cost(job, rid)
+                assert base * 0.5 <= cost <= base * 1.5
+
+    def test_deterministic_and_cached(self, diamond_workflow, model):
+        other = HeterogeneousCostModel(
+            diamond_workflow,
+            dict(model.base_costs),
+            beta=1.0,
+            bandwidth=2.0,
+            seed=7,
+        )
+        assert model.computation_cost("a", "r1") == other.computation_cost("a", "r1")
+        assert model.computation_cost("a", "r1") == model.computation_cost("a", "r1")
+
+    def test_new_resource_column_independent_of_query_order(self, model):
+        first = model.computation_cost("a", "r99")
+        # querying other resources must not change r99's draw
+        model.computation_cost("a", "r1")
+        assert model.computation_cost("a", "r99") == first
+
+    def test_beta_zero_homogeneous(self, diamond_workflow):
+        model = HeterogeneousCostModel(
+            diamond_workflow, {j: 10.0 for j in diamond_workflow.jobs}, beta=0.0
+        )
+        assert model.computation_cost("a", "r1") == 10.0
+        assert model.computation_cost("a", "r2") == 10.0
+
+    def test_invalid_beta_raises(self, diamond_workflow):
+        with pytest.raises(ValueError):
+            HeterogeneousCostModel(diamond_workflow, {j: 1.0 for j in diamond_workflow.jobs}, beta=3.0)
+
+    def test_missing_base_cost_raises(self, diamond_workflow):
+        with pytest.raises(ValueError, match="missing"):
+            HeterogeneousCostModel(diamond_workflow, {"a": 1.0})
+
+    def test_communication_uses_bandwidth_and_latency(self, diamond_workflow):
+        model = HeterogeneousCostModel(
+            diamond_workflow,
+            {j: 10.0 for j in diamond_workflow.jobs},
+            bandwidth=2.0,
+            latency=1.0,
+        )
+        # edge a->c carries 3.0 units: 1.0 + 3.0/2.0
+        assert model.communication_cost("a", "c", "r1", "r2") == pytest.approx(2.5)
+        assert model.communication_cost("a", "c", "r1", "r1") == 0.0
+
+    def test_intrinsic_average_is_base(self, model):
+        assert model.intrinsic_average_computation_cost("b") == 20.0
+
+    def test_perturbed_changes_costs_but_stays_close(self, model):
+        noisy = model.perturbed(error=0.2)
+        for job in model.base_costs:
+            ratio = noisy.base_costs[job] / model.base_costs[job]
+            assert 0.8 <= ratio <= 1.2
+
+    def test_perturbed_invalid_error_raises(self, model):
+        with pytest.raises(ValueError):
+            model.perturbed(error=1.5)
+
+
+class TestUniformCostModel:
+    def test_same_cost_everywhere(self, diamond_workflow):
+        model = UniformCostModel(diamond_workflow, computation=5.0)
+        assert model.computation_cost("a", "r1") == 5.0
+        assert model.computation_cost("d", "anything") == 5.0
+
+    def test_unknown_job_raises(self, diamond_workflow):
+        model = UniformCostModel(diamond_workflow)
+        with pytest.raises(KeyError):
+            model.computation_cost("ghost", "r1")
+
+    def test_ccr_of_uniform_model(self, diamond_workflow):
+        model = UniformCostModel(diamond_workflow, computation=2.0)
+        # average data = (2+3+1+4)/4 = 2.5; ccr = 2.5 / 2.0
+        assert model.ccr() == pytest.approx(1.25)

@@ -1,0 +1,87 @@
+"""Tests for workflow serialization."""
+
+import json
+
+import networkx as nx
+import pytest
+
+from repro.workflow.dag import Workflow
+from repro.workflow.serialization import (
+    workflow_from_dict,
+    workflow_from_json,
+    workflow_from_networkx,
+    workflow_to_dict,
+    workflow_to_dot,
+    workflow_to_json,
+    workflow_to_networkx,
+)
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_structure(self, diamond_workflow):
+        rebuilt = workflow_from_dict(workflow_to_dict(diamond_workflow))
+        assert rebuilt.name == diamond_workflow.name
+        assert rebuilt.jobs == diamond_workflow.jobs
+        assert sorted(rebuilt.edges()) == sorted(diamond_workflow.edges())
+
+    def test_round_trip_preserves_operations_and_payload(self):
+        wf = Workflow("ops")
+        wf.add_job("a", operation="split", index=3)
+        wf.add_job("b", operation="merge")
+        wf.add_edge("a", "b", data=1.5)
+        rebuilt = workflow_from_dict(workflow_to_dict(wf))
+        assert rebuilt.job("a").operation == "split"
+        assert rebuilt.job("a").payload["index"] == 3
+
+    def test_unknown_version_rejected(self, diamond_workflow):
+        payload = workflow_to_dict(diamond_workflow)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            workflow_from_dict(payload)
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(ValueError):
+            workflow_from_dict({"name": "x"})
+
+
+class TestJson:
+    def test_json_round_trip(self, diamond_workflow):
+        text = workflow_to_json(diamond_workflow, indent=2)
+        rebuilt = workflow_from_json(text)
+        assert sorted(rebuilt.edges()) == sorted(diamond_workflow.edges())
+
+    def test_json_is_valid_json(self, diamond_workflow):
+        parsed = json.loads(workflow_to_json(diamond_workflow))
+        assert parsed["name"] == "diamond"
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self, diamond_workflow):
+        dot = workflow_to_dot(diamond_workflow)
+        assert dot.startswith("digraph")
+        assert '"a" -> "b"' in dot
+        assert '"c" -> "d"' in dot
+
+    def test_dot_without_data_labels(self, diamond_workflow):
+        dot = workflow_to_dot(diamond_workflow, include_data=False)
+        assert "label=" not in dot.split("\n", 2)[2].split("->")[1]
+
+
+class TestNetworkx:
+    def test_export_preserves_counts(self, diamond_workflow):
+        graph = workflow_to_networkx(diamond_workflow)
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 4
+        assert graph["a"]["b"]["data"] == 2.0
+
+    def test_networkx_round_trip(self, diamond_workflow):
+        graph = workflow_to_networkx(diamond_workflow)
+        rebuilt = workflow_from_networkx(graph, name="again")
+        assert sorted(rebuilt.edges()) == sorted(diamond_workflow.edges())
+
+    def test_cyclic_graph_rejected(self):
+        graph = nx.DiGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        with pytest.raises(ValueError, match="acyclic"):
+            workflow_from_networkx(graph)
