@@ -14,9 +14,11 @@ are far beyond a single benchmark run, so each benchmark:
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.experiments.config import (
     ApplicationExperimentConfig,
@@ -27,6 +29,21 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: "laptop" (default) or "paper"
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "laptop")
+
+def _parse_workers(raw: str) -> Optional[int]:
+    try:
+        count = int(raw)
+    except ValueError:
+        print(
+            f"REPRO_BENCH_WORKERS={raw!r} is not an integer; running serially",
+            file=sys.stderr,
+        )
+        return None
+    return count if count > 1 else None
+
+
+#: Opt-in parallelism for the case runners (unset/0/1/garbage = serial).
+WORKERS = _parse_workers(os.environ.get("REPRO_BENCH_WORKERS", "0"))
 
 #: Number of generated instances averaged per sweep point.
 INSTANCES = 3 if SCALE == "paper" else 1
@@ -92,18 +109,32 @@ def application_series(parameter: str, values: Sequence, *, seed: int = 0,
             instances=INSTANCES,
             strategies=("HEFT", "AHEFT"),
             seed=seed,
+            workers=WORKERS,
         )
         series[application.upper()] = points
     return series
 
 
-def publish(name: str, text: str) -> None:
-    """Print a benchmark's table and persist it under benchmarks/results/."""
+def publish(name: str, text: str, data: Optional[Mapping] = None) -> None:
+    """Print a benchmark's table and persist it under benchmarks/results/.
+
+    Every benchmark's output is written twice: the human-readable table as
+    ``results/<name>.txt`` and a machine-readable ``results/<name>.json``
+    (name, scale and the table lines, merged with the optional structured
+    ``data`` mapping) so the result trajectory can be tracked across PRs.
+    """
     print()
     print(f"### {name} (scale={SCALE}) ###")
     print(text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {"name": name, "scale": SCALE, "lines": text.splitlines()}
+    if data is not None:
+        payload.update(data)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
 
 
 def run_once(benchmark, func):

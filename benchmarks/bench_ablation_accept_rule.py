@@ -6,24 +6,26 @@ only be equal or worse, because the HEFT heuristic occasionally produces a
 longer schedule when the resource set changes.
 """
 
-from _common import SCALE, base_application_config, publish, run_once
+from _common import SCALE, WORKERS, base_application_config, publish, run_once
 
 from repro.experiments.metrics import average
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentCase, run_case
+from repro.experiments.runner import ExperimentCase, run_case_batch
 
 NUM_CASES = 6 if SCALE == "paper" else 3
 
 
 def _experiment():
-    results = []
-    for instance in range(NUM_CASES):
-        config = base_application_config("blast", instance=instance, seed=60 + instance)
-        experiment = ExperimentCase(config.build_case(), config.build_resource_model())
-        results.append(
-            run_case(experiment, strategies=("HEFT", "AHEFT", "AHEFT-always"))
+    experiments = [
+        ExperimentCase(config.build_case(), config.build_resource_model())
+        for config in (
+            base_application_config("blast", instance=instance, seed=60 + instance)
+            for instance in range(NUM_CASES)
         )
-    return results
+    ]
+    return run_case_batch(
+        experiments, strategies=("HEFT", "AHEFT", "AHEFT-always"), workers=WORKERS
+    )
 
 
 def test_ablation_accept_only_if_better(benchmark):

@@ -5,23 +5,25 @@ HEFT 4075, AHEFT 3911, Min-Min 12352.  The benchmark samples the same grid
 (deterministically) at laptop scale and reports the same three averages.
 """
 
-from _common import SCALE, publish, run_once
+from _common import SCALE, WORKERS, publish, run_once
 
 from repro.experiments.config import sample_random_grid
 from repro.experiments.metrics import average
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentCase, run_case
+from repro.experiments.runner import ExperimentCase, run_case_batch
 
 NUM_CASES = 40 if SCALE == "paper" else 8
 
 
 def _experiment():
     configs = [cfg for cfg in sample_random_grid(NUM_CASES, seed=20) if cfg.v <= 100]
-    results = []
-    for config in configs:
-        experiment = ExperimentCase(config.build_case(), config.build_resource_model())
-        results.append(run_case(experiment, strategies=("HEFT", "AHEFT", "MinMin")))
-    return results
+    experiments = [
+        ExperimentCase(config.build_case(), config.build_resource_model())
+        for config in configs
+    ]
+    return run_case_batch(
+        experiments, strategies=("HEFT", "AHEFT", "MinMin"), workers=WORKERS
+    )
 
 
 def test_table2_random_comparison(benchmark):

@@ -4,7 +4,7 @@ Paper: 0.4%, 0.5%, 0.7%, 3.2%, 7.7% for CCR = 0.1, 0.5, 1, 5, 10 — the
 improvement grows with data intensiveness.
 """
 
-from _common import CCR_VALUES, INSTANCES, base_random_config, publish, run_once
+from _common import CCR_VALUES, INSTANCES, WORKERS, base_random_config, publish, run_once
 
 from repro.experiments.reporting import render_improvement_table
 from repro.experiments.sweep import sweep_random_parameter
@@ -20,6 +20,7 @@ def _experiment():
         instances=max(INSTANCES, 2),
         strategies=("HEFT", "AHEFT"),
         seed=30,
+        workers=WORKERS,
     )
 
 

@@ -4,7 +4,7 @@ Paper: 2.9%, 3.9%, 4.3%, 4.2%, 4.1% for v = 20, 40, 60, 80, 100 — the rate
 jumps initially and then stabilises.
 """
 
-from _common import INSTANCES, RANDOM_V, base_random_config, publish, run_once
+from _common import INSTANCES, RANDOM_V, WORKERS, base_random_config, publish, run_once
 
 from repro.experiments.reporting import render_improvement_table
 from repro.experiments.sweep import sweep_random_parameter
@@ -20,6 +20,7 @@ def _experiment():
         instances=max(INSTANCES, 2),
         strategies=("HEFT", "AHEFT"),
         seed=31,
+        workers=WORKERS,
     )
 
 

@@ -78,6 +78,14 @@ class HistoryAdjustedCostModel(CostModel):
     def average_communication_cost(self, src: str, dst: str) -> float:
         return self.prior.average_communication_cost(src, dst)
 
+    @property
+    def has_uniform_communication(self) -> bool:
+        # communication is delegated to the prior unchanged, so its
+        # uniformity carries over; computation stays uncached (the default
+        # ``cache_token() is None``) because the history can grow between
+        # calls without the workflow mutating.
+        return self.prior.has_uniform_communication
+
 
 @dataclass
 class Predictor:

@@ -22,7 +22,13 @@ from repro.scheduling.baselines import MaxMinScheduler, SufferageScheduler
 from repro.scheduling.heft import HEFTScheduler
 from repro.scheduling.minmin import MinMinScheduler
 
-__all__ = ["ExperimentCase", "CaseResult", "run_case", "STRATEGY_RUNNERS"]
+__all__ = [
+    "ExperimentCase",
+    "CaseResult",
+    "run_case",
+    "run_case_batch",
+    "STRATEGY_RUNNERS",
+]
 
 #: strategy name -> runner(workflow, costs, pool) -> AdaptiveRunResult
 STRATEGY_RUNNERS: Dict[str, Callable] = {
@@ -117,3 +123,41 @@ def run_case(
         makespans=makespans,
         rescheduling_counts=rescheduling_counts,
     )
+
+
+def _run_case_worker(payload) -> CaseResult:
+    """Top-level worker so :class:`ProcessPoolExecutor` can pickle it."""
+    experiment, strategies = payload
+    return run_case(experiment, strategies=strategies)
+
+
+def run_case_batch(
+    experiments: Sequence[ExperimentCase],
+    *,
+    strategies: Sequence[str] = ("HEFT", "AHEFT"),
+    runners: Optional[Mapping[str, Callable]] = None,
+    workers: Optional[int] = None,
+) -> List[CaseResult]:
+    """Run a batch of cases, optionally across ``workers`` processes.
+
+    Cases are fully self-contained (every case builds its own pool and all
+    randomness is derived from per-case seeds stored in the configs), so
+    parallel execution is deterministic: the result list is always in
+    submission order and every case produces the same result it would
+    serially, regardless of worker count or completion order.
+
+    ``workers=None`` (or ``<= 1``) runs serially.  Custom ``runners``
+    mappings typically hold lambdas, which cannot cross a process boundary,
+    so they also force the serial path.
+    """
+    experiments = list(experiments)
+    if runners is not None or not workers or workers <= 1 or len(experiments) < 2:
+        return [
+            run_case(experiment, strategies=strategies, runners=runners)
+            for experiment in experiments
+        ]
+    from concurrent.futures import ProcessPoolExecutor
+
+    payloads = [(experiment, tuple(strategies)) for experiment in experiments]
+    with ProcessPoolExecutor(max_workers=int(workers)) as executor:
+        return list(executor.map(_run_case_worker, payloads))

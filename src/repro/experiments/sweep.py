@@ -18,7 +18,7 @@ from repro.experiments.config import (
     RandomExperimentConfig,
 )
 from repro.experiments.metrics import average, improvement_rate
-from repro.experiments.runner import CaseResult, ExperimentCase, run_case
+from repro.experiments.runner import CaseResult, ExperimentCase, run_case_batch
 
 __all__ = [
     "SweepPoint",
@@ -51,9 +51,15 @@ def run_cases(
     experiments: Iterable[ExperimentCase],
     *,
     strategies: Sequence[str] = ("HEFT", "AHEFT"),
+    workers: Optional[int] = None,
 ) -> List[CaseResult]:
-    """Run every experiment case and collect the results."""
-    return [run_case(experiment, strategies=strategies) for experiment in experiments]
+    """Run every experiment case and collect the results (in order).
+
+    ``workers=N`` (opt-in) fans the independent cases out over N processes;
+    per-case seeds live inside the cases, so results are identical to a
+    serial run.
+    """
+    return run_case_batch(list(experiments), strategies=strategies, workers=workers)
 
 
 def aggregate_results(
@@ -100,6 +106,7 @@ def _sweep(
     *,
     instances: int,
     strategies: Sequence[str],
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     points: List[SweepPoint] = []
     for value in values:
@@ -111,7 +118,7 @@ def _sweep(
                     resource_model=config.build_resource_model(),
                 )
             )
-        results = run_cases(experiments, strategies=strategies)
+        results = run_cases(experiments, strategies=strategies, workers=workers)
         mean_makespans = {
             strategy: average(result.makespans[strategy] for result in results)
             for strategy in strategies
@@ -136,6 +143,7 @@ def sweep_random_parameter(
     instances: int = 3,
     strategies: Sequence[str] = ("HEFT", "AHEFT"),
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Sweep one Table 2 parameter on random DAGs, averaging over instances."""
     base = base_config or RandomExperimentConfig(seed=seed)
@@ -149,7 +157,12 @@ def sweep_random_parameter(
         ]
 
     return _sweep(
-        configs_for_value, parameter, values, instances=instances, strategies=strategies
+        configs_for_value,
+        parameter,
+        values,
+        instances=instances,
+        strategies=strategies,
+        workers=workers,
     )
 
 
@@ -162,6 +175,7 @@ def sweep_application_parameter(
     instances: int = 3,
     strategies: Sequence[str] = ("HEFT", "AHEFT"),
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Sweep one Table 5 parameter on an application DAG (BLAST/WIEN2K/Montage)."""
     base = base_config or ApplicationExperimentConfig(application=application, seed=seed)
@@ -177,5 +191,10 @@ def sweep_application_parameter(
         ]
 
     return _sweep(
-        configs_for_value, parameter, values, instances=instances, strategies=strategies
+        configs_for_value,
+        parameter,
+        values,
+        instances=instances,
+        strategies=strategies,
+        workers=workers,
     )

@@ -1,0 +1,394 @@
+"""Frozen copy of the seed scheduling kernel (reference implementation).
+
+The fast kernel (indexed DAG/cost caches, bisect timelines, rank reuse,
+hoisted inner loops) is required to be *bit-identical* to the original seed
+implementation: same assignments, same start/finish times, same makespans.
+This module preserves the seed algorithms verbatim so that
+
+* ``tests/test_scheduling_base.py`` can property-check the bisect-based
+  :class:`~repro.scheduling.base.ResourceTimeline` against
+  :class:`SeedResourceTimeline` on random interval sequences, and assert
+  HEFT/AHEFT schedule equivalence on seeded random and application DAGs,
+* ``benchmarks/bench_kernel_scaling.py`` can measure the speedup of the
+  fast kernel against the exact seed code path.
+
+Do not optimise this module — its slowness is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.scheduling.base import (
+    Assignment,
+    ExecutionState,
+    JobStatus,
+    Schedule,
+    TIME_EPS,
+)
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = [
+    "SeedResourceTimeline",
+    "seed_upward_ranks",
+    "seed_heft_priority_order",
+    "seed_heft_schedule",
+    "seed_aheft_reschedule",
+    "SeedHEFTScheduler",
+    "SeedAHEFTScheduler",
+]
+
+
+class SeedResourceTimeline:
+    """The seed timeline: O(n) overlap scan + full re-sort per ``occupy``."""
+
+    def __init__(self, resource_id: str, *, available_from: float = 0.0) -> None:
+        self.resource_id = resource_id
+        self.available_from = float(available_from)
+        self._intervals: List[Tuple[float, float, str]] = []
+
+    def occupy(self, start: float, finish: float, job_id: str) -> None:
+        if finish < start - TIME_EPS:
+            raise ValueError("finish precedes start")
+        for other_start, other_finish, other_job in self._intervals:
+            if start < other_finish - TIME_EPS and other_start < finish - TIME_EPS:
+                raise ValueError(
+                    f"interval [{start}, {finish}) of {job_id!r} overlaps "
+                    f"[{other_start}, {other_finish}) of {other_job!r} on "
+                    f"{self.resource_id!r}"
+                )
+        self._intervals.append((float(start), float(finish), job_id))
+        self._intervals.sort(key=lambda item: (item[0], item[1], item[2]))
+
+    def intervals(self) -> List[Tuple[float, float, str]]:
+        return list(self._intervals)
+
+    def ready_time(self) -> float:
+        if not self._intervals:
+            return self.available_from
+        return max(self.available_from, max(finish for _, finish, _ in self._intervals))
+
+    def earliest_start(
+        self, ready: float, duration: float, *, insertion: bool = True
+    ) -> float:
+        ready = max(ready, self.available_from)
+        if not insertion:
+            return max(ready, self.ready_time())
+        cursor = ready
+        for start, finish, _ in self._intervals:
+            if cursor + duration <= start + TIME_EPS:
+                return cursor
+            cursor = max(cursor, finish)
+        return cursor
+
+
+def seed_upward_ranks(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Seed ``rank_u``: per-job ``np.mean`` over the pool, no caching."""
+    ranks: Dict[str, float] = {}
+    order = workflow.topological_order()
+    for job in reversed(order):
+        if resources:
+            w_avg = float(
+                np.mean([costs.computation_cost(job, r) for r in resources])
+            )
+        else:
+            w_avg = costs.intrinsic_average_computation_cost(job)
+        succ = workflow.successors(job)
+        if not succ:
+            ranks[job] = w_avg
+            continue
+        best = 0.0
+        for nxt in succ:
+            c_avg = costs.average_communication_cost(job, nxt)
+            candidate = c_avg + ranks[nxt]
+            if candidate > best:
+                best = candidate
+        ranks[job] = w_avg + best
+    return ranks
+
+
+def seed_heft_priority_order(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Optional[Sequence[str]] = None,
+) -> List[str]:
+    ranks = seed_upward_ranks(workflow, costs, resources)
+    topo_index = {job: idx for idx, job in enumerate(workflow.topological_order())}
+    return sorted(
+        workflow.jobs,
+        key=lambda job: (-ranks[job], topo_index[job], job),
+    )
+
+
+def seed_heft_schedule(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Sequence[str],
+    *,
+    insertion: bool = True,
+    resource_available_from: Optional[Mapping[str, float]] = None,
+    name: str = "heft",
+) -> Schedule:
+    """The seed static HEFT: per-(job, resource) cost/communication calls."""
+    if not resources:
+        raise ValueError("cannot schedule on an empty resource set")
+    workflow.validate()
+    availability = resource_available_from or {}
+    timelines: Dict[str, SeedResourceTimeline] = {
+        rid: SeedResourceTimeline(rid, available_from=float(availability.get(rid, 0.0)))
+        for rid in resources
+    }
+    schedule = Schedule(name=name)
+
+    for job in seed_heft_priority_order(workflow, costs, resources):
+        best: Optional[Assignment] = None
+        for rid in resources:
+            duration = costs.computation_cost(job, rid)
+            ready = 0.0
+            for pred in workflow.predecessors(job):
+                pred_assignment = schedule.get(pred)
+                if pred_assignment is None:
+                    raise RuntimeError(
+                        f"predecessor {pred!r} of {job!r} not scheduled yet; "
+                        "priority order is not topologically consistent"
+                    )
+                transfer = costs.communication_cost(
+                    pred, job, pred_assignment.resource_id, rid
+                )
+                ready = max(ready, pred_assignment.finish + transfer)
+            start = timelines[rid].earliest_start(ready, duration, insertion=insertion)
+            candidate = Assignment(job, rid, start, start + duration)
+            if best is None or candidate.finish < best.finish - TIME_EPS:
+                best = candidate
+        assert best is not None
+        timelines[best.resource_id].occupy(best.start, best.finish, job)
+        schedule.add(best)
+    return schedule
+
+
+def _seed_scheduled_transfer_arrival(
+    pred: str,
+    job: str,
+    candidate_resource: str,
+    costs: CostModel,
+    previous_schedule: Optional[Schedule],
+    state: ExecutionState,
+) -> Optional[float]:
+    recorded = state.data_available_at(pred, candidate_resource)
+    if recorded is not None:
+        return recorded
+    if previous_schedule is None:
+        return None
+    finish = state.actual_finish.get(pred)
+    if finish is None:
+        return None
+    old = previous_schedule.get(job)
+    if old is not None and old.resource_id == candidate_resource:
+        transfer = costs.communication_cost(
+            pred, job, state.executed_on[pred], candidate_resource
+        )
+        return finish + transfer
+    return None
+
+
+def seed_aheft_reschedule(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Sequence[str],
+    *,
+    clock: float = 0.0,
+    previous_schedule: Optional[Schedule] = None,
+    execution_state: Optional[ExecutionState] = None,
+    insertion: bool = True,
+    respect_running: bool = True,
+    resource_available_from: Optional[Mapping[str, float]] = None,
+    name: str = "aheft",
+) -> Schedule:
+    """The seed AHEFT: Eq. (1)-(3) evaluated per (job, resource, pred)."""
+    if not resources:
+        raise ValueError("cannot schedule on an empty resource set")
+    workflow.validate()
+    if clock < 0:
+        raise ValueError("clock must be non-negative")
+
+    if execution_state is None:
+        if previous_schedule is not None:
+            execution_state = ExecutionState.from_schedule(
+                previous_schedule, clock, jobs=workflow.jobs
+            )
+        else:
+            execution_state = ExecutionState.initial(workflow.jobs)
+    state = execution_state
+
+    pinned: Dict[str, Assignment] = {}
+    for job in workflow.jobs:
+        status = state.job_status(job)
+        if status is JobStatus.FINISHED:
+            pinned[job] = Assignment(
+                job,
+                state.executed_on[job],
+                state.actual_start[job],
+                state.actual_finish[job],
+            )
+        elif status is JobStatus.RUNNING and respect_running:
+            if previous_schedule is not None and previous_schedule.get(job) is not None:
+                sft = previous_schedule.scheduled_finish_time(job)
+            else:
+                sft = state.actual_start[job] + costs.computation_cost(
+                    job, state.executed_on[job]
+                )
+            pinned[job] = Assignment(
+                job, state.executed_on[job], state.actual_start[job], sft
+            )
+    to_schedule = [job for job in workflow.jobs if job not in pinned]
+
+    availability = resource_available_from or {}
+    timelines: Dict[str, SeedResourceTimeline] = {}
+    for rid in resources:
+        start = max(clock, float(availability.get(rid, clock)))
+        timelines[rid] = SeedResourceTimeline(rid, available_from=start)
+    for assignment in pinned.values():
+        timeline = timelines.get(assignment.resource_id)
+        if timeline is not None and assignment.finish > timeline.available_from:
+            timeline.occupy(assignment.start, assignment.finish, assignment.job_id)
+
+    schedule = Schedule(name=name)
+    schedule.extend(pinned.values())
+
+    def fea(pred: str, job: str, rid: str) -> float:
+        if state.job_status(pred) is JobStatus.FINISHED:
+            executed_on = state.executed_on[pred]
+            finish = state.actual_finish[pred]
+            if executed_on == rid:
+                return finish
+            arrival = _seed_scheduled_transfer_arrival(
+                pred, job, rid, costs, previous_schedule, state
+            )
+            if arrival is not None:
+                return arrival
+            comm = costs.communication_cost(pred, job, executed_on, rid)
+            return clock + comm
+        pred_assignment = schedule.get(pred)
+        if pred_assignment is None:
+            raise RuntimeError(
+                f"predecessor {pred!r} of {job!r} is neither executed nor "
+                "scheduled; the priority order is not topologically consistent"
+            )
+        if pred_assignment.resource_id == rid:
+            return pred_assignment.finish
+        comm = costs.communication_cost(pred, job, pred_assignment.resource_id, rid)
+        return pred_assignment.finish + comm
+
+    to_schedule_set: Set[str] = set(to_schedule)
+    order = [
+        job
+        for job in seed_heft_priority_order(workflow, costs, resources)
+        if job in to_schedule_set
+    ]
+    for job in order:
+        best: Optional[Assignment] = None
+        for rid in resources:
+            duration = costs.computation_cost(job, rid)
+            ready = clock
+            for pred in workflow.predecessors(job):
+                ready = max(ready, fea(pred, job, rid))
+            start = timelines[rid].earliest_start(ready, duration, insertion=insertion)
+            candidate = Assignment(job, rid, start, start + duration)
+            if best is None or candidate.finish < best.finish - TIME_EPS:
+                best = candidate
+        assert best is not None
+        timelines[best.resource_id].occupy(best.start, best.finish, job)
+        schedule.add(best)
+    return schedule
+
+
+class SeedHEFTScheduler:
+    """Seed HEFT behind the common scheduler interface (for equivalence runs)."""
+
+    def __init__(self, *, insertion: bool = True, name: str = "HEFT") -> None:
+        self.insertion = insertion
+        self.name = name
+
+    def schedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+    ) -> Schedule:
+        return seed_heft_schedule(
+            workflow,
+            costs,
+            resources,
+            insertion=self.insertion,
+            resource_available_from=resource_available_from,
+            name=self.name,
+        )
+
+
+class SeedAHEFTScheduler:
+    """Seed AHEFT behind the common scheduler interface (for equivalence runs)."""
+
+    def __init__(
+        self,
+        *,
+        insertion: bool = True,
+        respect_running: bool = True,
+        name: str = "AHEFT",
+    ) -> None:
+        self.insertion = insertion
+        self.respect_running = respect_running
+        self.name = name
+
+    def schedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+    ) -> Schedule:
+        return seed_aheft_reschedule(
+            workflow,
+            costs,
+            resources,
+            clock=0.0,
+            previous_schedule=None,
+            execution_state=None,
+            insertion=self.insertion,
+            respect_running=self.respect_running,
+            resource_available_from=resource_available_from,
+            name=self.name,
+        )
+
+    def reschedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        clock: float,
+        previous_schedule: Schedule,
+        execution_state: Optional[ExecutionState] = None,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+    ) -> Schedule:
+        return seed_aheft_reschedule(
+            workflow,
+            costs,
+            resources,
+            clock=clock,
+            previous_schedule=previous_schedule,
+            execution_state=execution_state,
+            insertion=self.insertion,
+            respect_running=self.respect_running,
+            resource_available_from=resource_available_from,
+            name=self.name,
+        )

@@ -33,12 +33,25 @@ exactly Equations (1)–(3) of the paper:
 When ``clock == 0`` and no job has executed, every predecessor falls into
 Case 3 / otherwise and AHEFT reduces to plain HEFT — the identity the paper
 notes in §3.4 and that the test-suite asserts.
+
+Performance
+-----------
+Rescheduling happens at *every* resource-pool event, so the placement loop
+runs on the same fast kernel as :mod:`repro.scheduling.heft`: memoized
+priority orders (reused whenever the DAG and pool are unchanged between
+events), dense computation-cost matrices, and — for cost models with
+placement-independent transfer costs — per-predecessor FEA values hoisted
+out of the resource loop.  Each predecessor's FEA is a constant default
+(``clock + c̄`` or ``SFT + c̄``) plus a handful of per-resource overrides
+(data already local / transfer under way), so the candidate loop touches
+the cost model zero times.  Bit-identical to the seed implementation in
+:mod:`repro.scheduling._seed_reference`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.scheduling.base import (
     Assignment,
@@ -197,7 +210,33 @@ def aheft_reschedule(
     schedule.extend(pinned.values())
 
     # ------------------------------------------------------------------
-    # FEA of Eq. (1)
+    # HEFT placement of the re-mappable jobs in upward-rank order
+    # ------------------------------------------------------------------
+    to_schedule_set: Set[str] = set(to_schedule)
+    order = [
+        job
+        for job in heft_priority_order(workflow, costs, resources)
+        if job in to_schedule_set
+    ]
+
+    if workflow is costs.workflow and costs.has_uniform_communication:
+        _place_fast(
+            workflow,
+            costs,
+            resources,
+            order,
+            timelines,
+            schedule,
+            state,
+            previous_schedule,
+            clock,
+            insertion,
+        )
+        return schedule
+
+    # ------------------------------------------------------------------
+    # generic path (pair-dependent communication): FEA of Eq. (1) per
+    # (job, resource, predecessor)
     # ------------------------------------------------------------------
     def fea(pred: str, job: str, rid: str) -> float:
         if state.job_status(pred) is JobStatus.FINISHED:
@@ -225,15 +264,6 @@ def aheft_reschedule(
         comm = costs.communication_cost(pred, job, pred_assignment.resource_id, rid)
         return pred_assignment.finish + comm  # otherwise
 
-    # ------------------------------------------------------------------
-    # HEFT placement of the re-mappable jobs in upward-rank order
-    # ------------------------------------------------------------------
-    to_schedule_set: Set[str] = set(to_schedule)
-    order = [
-        job
-        for job in heft_priority_order(workflow, costs, resources)
-        if job in to_schedule_set
-    ]
     for job in order:
         best: Optional[Assignment] = None
         for rid in resources:
@@ -249,6 +279,115 @@ def aheft_reschedule(
         timelines[best.resource_id].occupy(best.start, best.finish, job)
         schedule.add(best)
     return schedule
+
+
+def _place_fast(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Sequence[str],
+    order: Sequence[str],
+    timelines: Dict[str, ResourceTimeline],
+    schedule: Schedule,
+    state: ExecutionState,
+    previous_schedule: Optional[Schedule],
+    clock: float,
+    insertion: bool,
+) -> None:
+    """Placement loop with per-predecessor FEA hoisted out of the resource loop.
+
+    With placement-uniform communication every predecessor's FEA collapses
+    to a *default* value valid on almost every resource plus a few
+    per-resource overrides:
+
+    * finished predecessor — default ``clock + c̄`` (Case 2), overridden on
+      the resource it ran on (``AFT``, Case 1), on resources with a
+      recorded/implied transfer (arrival time), and on the job's previous
+      target (``AFT + c̄``),
+    * unfinished predecessor — default ``SFT + c̄`` (otherwise-case),
+      overridden on its own resource (``SFT``, Case 3).
+
+    ``ready(rid)`` is then the max of the defaults for every resource
+    without overrides (one number, computed once) and a short per-pred scan
+    for the handful of override resources.
+    """
+    structure = workflow.structure()
+    index = structure.index
+    jobs = structure.jobs
+    w = costs.computation_matrix(resources).tolist()
+    pred_comm = costs.predecessor_communications()
+
+    finish_of: List[Optional[float]] = [None] * structure.num_jobs
+    resource_of: List[Optional[str]] = [None] * structure.num_jobs
+    for assignment in schedule:  # pinned finished/running jobs
+        i = index[assignment.job_id]
+        finish_of[i] = assignment.finish
+        resource_of[i] = assignment.resource_id
+
+    arrivals_by_producer: Dict[str, List[Tuple[str, float]]] = {}
+    for (producer, rid), time in state.data_arrivals.items():
+        arrivals_by_producer.setdefault(producer, []).append((rid, time))
+
+    for job in order:
+        i = index[job]
+        w_row = w[i]
+        old = previous_schedule.get(job) if previous_schedule is not None else None
+        # per-pred (default, overrides) FEA decomposition
+        pred_infos: List[Tuple[float, Dict[str, float]]] = []
+        override_rids: Set[str] = set()
+        default_max = clock
+        for p, comm in pred_comm[i]:
+            pred_job = jobs[p]
+            if state.job_status(pred_job) is JobStatus.FINISHED:
+                executed_on = state.executed_on[pred_job]
+                aft = state.actual_finish[pred_job]
+                overrides = {executed_on: aft}  # Case 1
+                for rid, time in arrivals_by_producer.get(pred_job, ()):
+                    if rid not in overrides:
+                        overrides[rid] = time  # recorded transfer
+                if old is not None and old.resource_id not in overrides:
+                    # static-strategy rule: the transfer to the job's
+                    # previous target started at AFT
+                    overrides[old.resource_id] = aft + comm
+                default = clock + comm  # Case 2
+            else:
+                pred_finish = finish_of[p]
+                if pred_finish is None:
+                    raise RuntimeError(
+                        f"predecessor {pred_job!r} of {job!r} is neither "
+                        "executed nor scheduled; the priority order is not "
+                        "topologically consistent"
+                    )
+                overrides = {resource_of[p]: pred_finish}  # Case 3
+                default = pred_finish + comm  # otherwise
+            pred_infos.append((default, overrides))
+            override_rids.update(overrides)
+            if default > default_max:
+                default_max = default
+
+        best_rid: Optional[str] = None
+        best_start = 0.0
+        best_finish = float("-inf")
+        for j, rid in enumerate(resources):
+            if rid in override_rids:
+                ready = clock
+                for default, overrides in pred_infos:
+                    value = overrides.get(rid, default)
+                    if value > ready:
+                        ready = value
+            else:
+                ready = default_max
+            duration = w_row[j]
+            start = timelines[rid].earliest_start(ready, duration, insertion=insertion)
+            finish = start + duration
+            if best_rid is None or finish < best_finish - TIME_EPS:
+                best_rid = rid
+                best_start = start
+                best_finish = finish
+        assert best_rid is not None
+        timelines[best_rid].occupy(best_start, best_finish, job)
+        schedule.add(Assignment(job, best_rid, best_start, best_finish))
+        finish_of[i] = best_finish
+        resource_of[i] = best_rid
 
 
 @dataclass

@@ -14,6 +14,7 @@
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -64,12 +65,22 @@ class ResourceTimeline:
     a new task of length ``duration`` that becomes ready at ``ready`` is
     placed either inside an idle gap large enough to hold it or after the
     last occupied interval.
+
+    The interval list is maintained sorted with ``bisect.insort``; because
+    intervals are pairwise non-overlapping (the ``occupy`` invariant), an
+    insertion only has to check its sorted neighbourhood for conflicts and
+    the gap scan of :meth:`earliest_start` can start at the bisect position
+    of the ready time instead of at index 0.  The maximum finish time is
+    cached so :meth:`ready_time` is O(1).
     """
 
     def __init__(self, resource_id: str, *, available_from: float = 0.0) -> None:
         self.resource_id = resource_id
         self.available_from = float(available_from)
         self._intervals: List[Tuple[float, float, str]] = []
+        #: parallel list of start times, for bisect on the ready time
+        self._starts: List[float] = []
+        self._max_finish: float = float("-inf")
 
     # ------------------------------------------------------------------
     def occupy(self, start: float, finish: float, job_id: str) -> None:
@@ -82,15 +93,46 @@ class ResourceTimeline:
         """
         if finish < start - TIME_EPS:
             raise ValueError("finish precedes start")
-        for other_start, other_finish, other_job in self._intervals:
-            if start < other_finish - TIME_EPS and other_start < finish - TIME_EPS:
-                raise ValueError(
-                    f"interval [{start}, {finish}) of {job_id!r} overlaps "
-                    f"[{other_start}, {other_finish}) of {other_job!r} on "
-                    f"{self.resource_id!r}"
-                )
-        self._intervals.append((float(start), float(finish), job_id))
-        self._intervals.sort(key=lambda item: (item[0], item[1], item[2]))
+        start = float(start)
+        finish = float(finish)
+        item = (start, finish, job_id)
+        intervals = self._intervals
+        pos = bisect_left(intervals, item)
+        # Overlap with ``(os, of)`` means ``start < of - eps and os < finish
+        # - eps``.  Rightwards, starts are non-decreasing, so the scan can
+        # stop at the first interval starting at/after ``finish``.
+        i = pos
+        n = len(intervals)
+        while i < n and intervals[i][0] < finish - TIME_EPS:
+            if start < intervals[i][1] - TIME_EPS:
+                self._raise_overlap(start, finish, job_id, intervals[i])
+            i += 1
+        # Leftwards, only the nearest non-degenerate interval can overlap:
+        # anything before it finishes by that interval's start (pairwise
+        # non-overlap), hence before ``start``; degenerate (zero-length)
+        # intervals at or before ``start`` can never overlap anything.
+        i = pos - 1
+        while i >= 0:
+            other = intervals[i]
+            if other[1] - other[0] <= TIME_EPS:
+                i -= 1
+                continue
+            if start < other[1] - TIME_EPS and other[0] < finish - TIME_EPS:
+                self._raise_overlap(start, finish, job_id, other)
+            break
+        insort(intervals, item)
+        insort(self._starts, start)
+        if finish > self._max_finish:
+            self._max_finish = finish
+
+    def _raise_overlap(
+        self, start: float, finish: float, job_id: str, other: Tuple[float, float, str]
+    ) -> None:
+        raise ValueError(
+            f"interval [{start}, {finish}) of {job_id!r} overlaps "
+            f"[{other[0]}, {other[1]}) of {other[2]!r} on "
+            f"{self.resource_id!r}"
+        )
 
     def intervals(self) -> List[Tuple[float, float, str]]:
         return list(self._intervals)
@@ -99,7 +141,7 @@ class ResourceTimeline:
         """Earliest time after every occupied interval (``avail[j]`` without insertion)."""
         if not self._intervals:
             return self.available_from
-        return max(self.available_from, max(finish for _, finish, _ in self._intervals))
+        return max(self.available_from, self._max_finish)
 
     def earliest_start(
         self, ready: float, duration: float, *, insertion: bool = True
@@ -113,12 +155,36 @@ class ResourceTimeline:
         ready = max(ready, self.available_from)
         if not insertion:
             return max(ready, self.ready_time())
-        # Insertion policy: scan gaps in increasing start order.
+        intervals = self._intervals
+        if not intervals or ready >= self._max_finish:
+            return ready
+        if duration <= TIME_EPS:
+            # A (near-)zero-length task can slot against any interval
+            # boundary, including ones entirely before ``ready`` — scan all
+            # gaps like the reference implementation.
+            first = 0
+        else:
+            # Intervals finishing at/before ``ready`` neither move the
+            # cursor nor open a usable gap (that would need ``ready +
+            # duration <= start + eps`` with ``start <= ready``), so the
+            # scan starts at the bisect position, stepping back over any
+            # interval still in flight at ``ready``.
+            first = bisect_left(self._starts, ready)
+            i = first - 1
+            while i >= 0:
+                other = intervals[i]
+                if other[1] > ready:
+                    first = i
+                elif other[1] - other[0] > TIME_EPS:
+                    break
+                i -= 1
         cursor = ready
-        for start, finish, _ in self._intervals:
+        for index in range(first, len(intervals)):
+            start, finish, _ = intervals[index]
             if cursor + duration <= start + TIME_EPS:
                 return cursor
-            cursor = max(cursor, finish)
+            if finish > cursor:
+                cursor = finish
         return cursor
 
     def utilisation(self, horizon: float) -> float:

@@ -9,6 +9,26 @@ already-scheduled jobs on a resource).
 This module implements the *traditional* static HEFT used as the paper's
 baseline: it is executed once, before the workflow starts, against the
 resource pool known at time 0, and it never revisits its decisions.
+
+Performance
+-----------
+The placement loop is the hot path of every experiment sweep, so it runs on
+the fast kernel:
+
+* the priority order is memoized per ``(workflow.version, pool signature)``
+  on the cost model, so the adaptive loop's per-event rescheduling reuses
+  ranks whenever the DAG and the pool are unchanged,
+* computation costs come from the memoized dense
+  :meth:`~repro.workflow.costs.CostModel.computation_matrix`,
+* for cost models with placement-independent transfer costs
+  (:attr:`~repro.workflow.costs.CostModel.has_uniform_communication`) the
+  per-resource ready time is computed in O(preds + |R|) per job via a
+  per-resource max decomposition instead of O(preds × |R|) cost-model calls.
+
+All fast paths are bit-identical to the seed implementation preserved in
+:mod:`repro.scheduling._seed_reference` (same assignments, same makespans);
+``tests/test_scheduling_base.py`` asserts this on seeded random and
+application DAGs.
 """
 
 from __future__ import annotations
@@ -23,6 +43,21 @@ from repro.workflow.dag import Workflow
 
 __all__ = ["heft_schedule", "heft_priority_order", "HEFTScheduler"]
 
+_NEG_INF = float("-inf")
+
+
+def _compute_priority_order(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Optional[Sequence[str]],
+) -> List[str]:
+    ranks = upward_ranks(workflow, costs, resources)
+    topo_index = {job: idx for idx, job in enumerate(workflow.topological_order())}
+    return sorted(
+        workflow.jobs,
+        key=lambda job: (-ranks[job], topo_index[job], job),
+    )
+
 
 def heft_priority_order(
     workflow: Workflow,
@@ -34,13 +69,19 @@ def heft_priority_order(
     Ties are broken by topological position (predecessors first) and then by
     job identifier, so the order is deterministic and always topologically
     consistent even when zero-cost jobs make ranks equal.
+
+    The order (and the upward ranks feeding it) is cached on the cost model,
+    keyed by the workflow version and the pool signature, so repeated calls
+    during adaptive rescheduling only pay for the sort once per distinct
+    ``(DAG, pool)`` combination.
     """
-    ranks = upward_ranks(workflow, costs, resources)
-    topo_index = {job: idx for idx, job in enumerate(workflow.topological_order())}
-    return sorted(
-        workflow.jobs,
-        key=lambda job: (-ranks[job], topo_index[job], job),
-    )
+    if workflow is costs.workflow:
+        order = costs.memoize(
+            ("priority", None if resources is None else tuple(resources)),
+            lambda: _compute_priority_order(workflow, costs, resources),
+        )
+        return list(order)
+    return _compute_priority_order(workflow, costs, resources)
 
 
 def heft_schedule(
@@ -76,8 +117,91 @@ def heft_schedule(
         for rid in resources
     }
     schedule = Schedule(name=name)
+    order = heft_priority_order(workflow, costs, resources)
 
-    for job in heft_priority_order(workflow, costs, resources):
+    if workflow is not costs.workflow or not costs.has_uniform_communication:
+        _place_generic(workflow, costs, resources, order, timelines, schedule, insertion)
+        return schedule
+
+    structure = workflow.structure()
+    index = structure.index
+    w = costs.computation_matrix(resources).tolist()
+    pred_comm = costs.predecessor_communications()
+    finish_of: List[Optional[float]] = [None] * structure.num_jobs
+    resource_of: List[Optional[str]] = [None] * structure.num_jobs
+
+    for job in order:
+        i = index[job]
+        w_row = w[i]
+        preds = pred_comm[i]
+        # Ready time decomposition: a predecessor on resource ``r``
+        # contributes ``finish`` when the job lands on ``r`` and ``finish +
+        # c̄`` anywhere else, so ``ready(rid) = max(0, max_{r != rid} P[r],
+        # L[rid])`` with P/L the per-resource maxima of the two forms.
+        local_max: Dict[str, float] = {}
+        remote_max: Dict[str, float] = {}
+        top_value = _NEG_INF
+        top_key: Optional[str] = None
+        second_value = _NEG_INF
+        for p, comm in preds:
+            pred_finish = finish_of[p]
+            if pred_finish is None:
+                raise RuntimeError(
+                    f"predecessor {structure.jobs[p]!r} of {job!r} not scheduled "
+                    "yet; priority order is not topologically consistent"
+                )
+            pred_resource = resource_of[p]
+            remote = pred_finish + comm
+            if remote_max.get(pred_resource, _NEG_INF) < remote:
+                remote_max[pred_resource] = remote
+            if local_max.get(pred_resource, _NEG_INF) < pred_finish:
+                local_max[pred_resource] = pred_finish
+        for key, value in remote_max.items():
+            if value > top_value:
+                second_value = top_value
+                top_value = value
+                top_key = key
+            elif value > second_value:
+                second_value = value
+
+        best_rid: Optional[str] = None
+        best_start = 0.0
+        best_finish = _NEG_INF
+        for j, rid in enumerate(resources):
+            ready = 0.0
+            if preds:
+                remote = second_value if rid == top_key else top_value
+                if remote > ready:
+                    ready = remote
+                local = local_max.get(rid)
+                if local is not None and local > ready:
+                    ready = local
+            duration = w_row[j]
+            start = timelines[rid].earliest_start(ready, duration, insertion=insertion)
+            finish = start + duration
+            if best_rid is None or finish < best_finish - TIME_EPS:
+                best_rid = rid
+                best_start = start
+                best_finish = finish
+        assert best_rid is not None
+        timelines[best_rid].occupy(best_start, best_finish, job)
+        schedule.add(Assignment(job, best_rid, best_start, best_finish))
+        finish_of[i] = best_finish
+        resource_of[i] = best_rid
+    return schedule
+
+
+def _place_generic(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Sequence[str],
+    order: Sequence[str],
+    timelines: Dict[str, ResourceTimeline],
+    schedule: Schedule,
+    insertion: bool,
+) -> None:
+    """Placement loop for models with pair-dependent communication costs."""
+    for job in order:
         best: Optional[Assignment] = None
         for rid in resources:
             duration = costs.computation_cost(job, rid)
@@ -100,7 +224,6 @@ def heft_schedule(
         assert best is not None
         timelines[best.resource_id].occupy(best.start, best.finish, job)
         schedule.add(best)
-    return schedule
 
 
 @dataclass

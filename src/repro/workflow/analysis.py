@@ -45,22 +45,41 @@ def upward_ranks(
     with ``rank_u(n_exit) = w̄_exit``.  Averages are taken over ``resources``
     when provided (the pool the scheduler currently knows about).
     """
-    ranks: Dict[str, float] = {}
-    order = workflow.topological_order()
-    for job in reversed(order):
-        w_avg = costs.average_computation_cost(job, resources)
-        succ = workflow.successors(job)
-        if not succ:
-            ranks[job] = w_avg
-            continue
+    if workflow is not costs.workflow:
+        # foreign workflow: the dense views below are aligned with
+        # costs.workflow, so fall back to direct per-job queries
+        ranks: Dict[str, float] = {}
+        for job in reversed(workflow.topological_order()):
+            w_avg = costs.average_computation_cost(job, resources)
+            best = 0.0
+            for nxt in workflow.successors(job):
+                candidate = costs.average_communication_cost(job, nxt) + ranks[nxt]
+                if candidate > best:
+                    best = candidate
+            ranks[job] = w_avg + best
+        return ranks
+
+    structure = workflow.structure()
+    w_avg = costs.average_computation_costs(resources).tolist()
+    comm = costs.edge_communication_costs().tolist()
+    # flat edge array is grouped by source job in insertion order, matching
+    # structure.succ — compute each source's offset into it
+    offsets = [0] * structure.num_jobs
+    cursor = 0
+    for i in range(structure.num_jobs):
+        offsets[i] = cursor
+        cursor += len(structure.succ[i])
+    rank = [0.0] * structure.num_jobs
+    for i in reversed(structure.topo):
+        succ = structure.succ[i]
         best = 0.0
-        for nxt in succ:
-            c_avg = costs.average_communication_cost(job, nxt)
-            candidate = c_avg + ranks[nxt]
+        base = offsets[i]
+        for k, j in enumerate(succ):
+            candidate = comm[base + k] + rank[j]
             if candidate > best:
                 best = candidate
-        ranks[job] = w_avg + best
-    return ranks
+        rank[i] = w_avg[i] + best
+    return {job: rank[i] for i, job in enumerate(structure.jobs)}
 
 
 def downward_ranks(

@@ -45,7 +45,25 @@ __all__ = [
 
 
 class CostModel(abc.ABC):
-    """Interface for estimating computation and communication costs."""
+    """Interface for estimating computation and communication costs.
+
+    Besides the abstract per-(job, resource) queries, the base class
+    provides *memoized dense views* used by the scheduling fast paths:
+
+    * :meth:`computation_matrix` — ``w[job_idx, resource_idx]`` as a numpy
+      array aligned with ``workflow.structure()`` and the given resource
+      order,
+    * :meth:`average_computation_costs` — the per-job average vector
+      ``w̄_i``,
+    * :meth:`edge_communication_costs` — ``c̄`` per edge, grouped by source
+      job in successor order.
+
+    Memoization is keyed on ``(workflow.version, cache_token(), ...)`` and
+    is only enabled when :meth:`cache_token` returns a non-``None`` value —
+    models whose answers can drift without the workflow mutating (e.g. a
+    history-blended predictor model) keep the default ``None`` token and are
+    simply recomputed on every call, which is always correct.
+    """
 
     #: workflow whose edges supply the data volumes
     workflow: Workflow
@@ -64,13 +82,18 @@ class CostModel(abc.ABC):
 
         When ``resources`` is given, the average is taken over that set
         (what HEFT does when ranking against the currently known pool);
-        otherwise the model's intrinsic average is returned.
+        otherwise the model's intrinsic average is returned.  An explicitly
+        *empty* resource set is an error — silently falling back to the
+        intrinsic average would hide scheduler bugs where the pool was lost.
         """
-        if resources:
-            return float(
-                np.mean([self.computation_cost(job_id, r) for r in resources])
+        if resources is None:
+            return self.intrinsic_average_computation_cost(job_id)
+        if len(resources) == 0:
+            raise ValueError(
+                "cannot average computation cost over an empty resource set; "
+                "pass None for the model's intrinsic average"
             )
-        return self.intrinsic_average_computation_cost(job_id)
+        return float(np.mean([self.computation_cost(job_id, r) for r in resources]))
 
     @abc.abstractmethod
     def intrinsic_average_computation_cost(self, job_id: str) -> float:
@@ -96,6 +119,167 @@ class CostModel(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    # capability flags / cache keys
+    # ------------------------------------------------------------------
+    def cache_token(self) -> Optional[object]:
+        """Token identifying the model's current pricing, or ``None``.
+
+        A non-``None`` token enables memoization of the dense cost views:
+        two calls with equal ``(workflow.version, cache_token())`` must
+        return identical costs.  The built-in table-backed models return
+        their pricing version (bumped by :meth:`invalidate_cache`); models
+        whose estimates can change behind the scenes (history blending)
+        must keep the default ``None`` so every query hits the live model.
+        """
+        return None
+
+    def invalidate_cache(self) -> None:
+        """Drop every memoized dense view and bump the pricing version.
+
+        Models whose cost tables are mutated *in place* (e.g. editing
+        ``HeterogeneousCostModel.base_costs`` or a tabular row) must call
+        this afterwards — the workflow version cannot see such changes, so
+        without it the memoized matrices and priority orders would keep
+        serving the old prices.
+        """
+        self.__dict__.pop("_dense_cache", None)
+        self.__dict__["_pricing_version"] = self._pricing_version + 1
+
+    @property
+    def _pricing_version(self) -> int:
+        return self.__dict__.get("_pricing_version", 0)
+
+    @property
+    def has_uniform_communication(self) -> bool:
+        """True when transfer cost does not depend on the resource pair.
+
+        The contract is: ``communication_cost(src, dst, r1, r2)`` equals 0
+        when ``r1 == r2`` and equals ``average_communication_cost(src,
+        dst)`` for every pair of *distinct* resources.  All built-in models
+        satisfy this (the paper prices transfers as ``latency + data /
+        bandwidth`` regardless of endpoints); schedulers use it to hoist
+        communication lookups out of their per-resource loops.  Custom
+        models with genuinely pairwise costs keep the default ``False`` and
+        take the generic (slower, still exact) path.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # memoized dense views
+    # ------------------------------------------------------------------
+    def memoize(self, key: Tuple, builder):
+        """Memoize ``builder()`` under ``key`` when the model is cacheable.
+
+        The cache lives on the instance and is dropped wholesale whenever
+        the workflow's version or the pricing version moves on, so stale
+        entries never accumulate across mutations.  Public so that
+        consumers of the model (e.g. the schedulers' priority-order cache)
+        can piggyback on the same invalidation rules instead of inventing
+        their own.
+        """
+        token = self.cache_token()
+        if token is None:
+            return builder()
+        store = self.__dict__.get("_dense_cache")
+        stamp = (self.workflow.version, token)
+        if store is None or store.get("stamp") != stamp:
+            store = {"stamp": stamp, "entries": {}}
+            self.__dict__["_dense_cache"] = store
+        entries = store["entries"]
+        if key not in entries:
+            entries[key] = builder()
+        return entries[key]
+
+    def computation_matrix(self, resources: Sequence[str]) -> "np.ndarray":
+        """Dense ``w[job_idx, resource_idx]`` matrix for the given pool.
+
+        Rows follow ``workflow.structure().jobs`` (insertion order), columns
+        follow ``resources`` order.  Memoized per pool signature.
+        """
+        key = ("wmat", tuple(resources))
+
+        def build() -> "np.ndarray":
+            jobs = self.workflow.structure().jobs
+            matrix = np.empty((len(jobs), len(resources)), dtype=np.float64)
+            for i, job in enumerate(jobs):
+                row = matrix[i]
+                for j, resource in enumerate(resources):
+                    row[j] = self.computation_cost(job, resource)
+            return matrix
+
+        return self.memoize(key, build)
+
+    def average_computation_costs(
+        self, resources: Optional[Sequence[str]] = None
+    ) -> "np.ndarray":
+        """Vector of ``w̄_i`` per job, aligned with ``structure().jobs``.
+
+        Bit-identical to calling :meth:`average_computation_cost` per job
+        (numpy's row mean equals the mean of the per-resource list).
+        """
+        key = ("wavg", None if resources is None else tuple(resources))
+
+        def build() -> "np.ndarray":
+            jobs = self.workflow.structure().jobs
+            if resources is None:
+                return np.array(
+                    [self.intrinsic_average_computation_cost(job) for job in jobs],
+                    dtype=np.float64,
+                )
+            if len(resources) == 0:
+                raise ValueError(
+                    "cannot average computation cost over an empty resource set; "
+                    "pass None for the model's intrinsic average"
+                )
+            return self.computation_matrix(resources).mean(axis=1)
+
+        return self.memoize(key, build)
+
+    def edge_communication_costs(self) -> "np.ndarray":
+        """``c̄`` per edge, aligned with ``workflow.structure().edges``.
+
+        Edges are grouped contiguously by source job in insertion order,
+        with destinations in successor order — i.e. the same order as
+        ``Workflow.edges()``.
+        """
+
+        def build() -> "np.ndarray":
+            structure = self.workflow.structure()
+            jobs = structure.jobs
+            return np.array(
+                [
+                    self.average_communication_cost(jobs[src], jobs[dst])
+                    for src, dst in structure.edges
+                ],
+                dtype=np.float64,
+            )
+
+        return self.memoize(("cavg",), build)
+
+    def predecessor_communications(
+        self,
+    ) -> Tuple[Tuple[Tuple[int, float], ...], ...]:
+        """Per-job ``(pred_dense_id, c̄)`` pairs, aligned with dense job ids.
+
+        This is the view the schedulers' placement loops need: for every job,
+        its predecessors and the average cost of shipping their output, with
+        all string lookups resolved once.
+        """
+
+        def build() -> Tuple[Tuple[Tuple[int, float], ...], ...]:
+            structure = self.workflow.structure()
+            jobs = structure.jobs
+            return tuple(
+                tuple(
+                    (p, self.average_communication_cost(jobs[p], jobs[i]))
+                    for p in structure.pred[i]
+                )
+                for i in range(structure.num_jobs)
+            )
+
+        return self.memoize(("pred_comm",), build)
+
+    # ------------------------------------------------------------------
     # convenience
     # ------------------------------------------------------------------
     def ccr(self, resources: Optional[Sequence[str]] = None) -> float:
@@ -105,15 +289,11 @@ class CostModel(abc.ABC):
         the average computation cost per job (paper §4.2).  Returns 0 for
         workflows without edges.
         """
-        edges = self.workflow.edges()
-        comp = [
-            self.average_computation_cost(job, resources) for job in self.workflow.jobs
-        ]
-        mean_comp = float(np.mean(comp)) if comp else 0.0
-        if not edges or mean_comp == 0.0:
+        comp = self.average_computation_costs(resources)
+        mean_comp = float(np.mean(comp)) if comp.size else 0.0
+        if self.workflow.num_edges == 0 or mean_comp == 0.0:
             return 0.0
-        comm = [self.average_communication_cost(src, dst) for src, dst, _ in edges]
-        return float(np.mean(comm)) / mean_comp
+        return float(np.mean(self.edge_communication_costs())) / mean_comp
 
 
 class TabularCostModel(CostModel):
@@ -164,6 +344,14 @@ class TabularCostModel(CostModel):
         for row in self._comp.values():
             ids.update(row.keys())
         return sorted(ids)
+
+    def cache_token(self) -> Optional[object]:
+        # the table is a plain dict: in-place edits require invalidate_cache()
+        return self._pricing_version
+
+    @property
+    def has_uniform_communication(self) -> bool:
+        return True  # edge data is the transfer time for any distinct pair
 
     def computation_cost(self, job_id: str, resource_id: str) -> float:
         row = self._comp[job_id]
@@ -244,6 +432,19 @@ class HeterogeneousCostModel(CostModel):
         self.seed = int(seed)
         self._cache: Dict[Tuple[str, str], float] = {}
 
+    def cache_token(self) -> Optional[object]:
+        # draws are deterministic in (seed, job, resource); in-place edits
+        # of base_costs require invalidate_cache()
+        return self._pricing_version
+
+    def invalidate_cache(self) -> None:
+        super().invalidate_cache()
+        self._cache.clear()  # per-(job, resource) draws derive from base_costs
+
+    @property
+    def has_uniform_communication(self) -> bool:
+        return True  # latency + data/bandwidth, independent of the pair
+
     def computation_cost(self, job_id: str, resource_id: str) -> float:
         key = (job_id, resource_id)
         cached = self._cache.get(key)
@@ -319,6 +520,13 @@ class UniformCostModel(CostModel):
         self.computation = float(computation)
         self.bandwidth = float(bandwidth)
         self.latency = float(latency)
+
+    def cache_token(self) -> Optional[object]:
+        return self._pricing_version
+
+    @property
+    def has_uniform_communication(self) -> bool:
+        return True
 
     def computation_cost(self, job_id: str, resource_id: str) -> float:
         if job_id not in self.workflow:

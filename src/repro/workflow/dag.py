@@ -15,7 +15,42 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.utils.ordering import topological_order
 
-__all__ = ["Job", "Workflow"]
+__all__ = ["Job", "Workflow", "WorkflowIndex"]
+
+
+@dataclass(frozen=True)
+class WorkflowIndex:
+    """Dense-integer structure index of a :class:`Workflow` snapshot.
+
+    Scheduling inner loops are dominated by string-keyed dict lookups when
+    they walk the DAG per job per resource.  The index maps every job to a
+    dense integer id (insertion order, matching ``Workflow.jobs``) and
+    exposes the topological order and predecessor/successor adjacency as
+    plain integer lists, so the hot loops become array walks.
+
+    The index is a snapshot: it is built lazily by
+    :meth:`Workflow.structure` and cached until the workflow's *structure*
+    (jobs or edges, not edge data) mutates.
+    """
+
+    #: job ids in insertion order; ``jobs[i]`` is the job with dense id ``i``
+    jobs: Tuple[str, ...]
+    #: job id -> dense id
+    index: Mapping[str, int]
+    #: dense ids in deterministic topological order
+    topo: Tuple[int, ...]
+    #: job ids in the same topological order (= ``Workflow.topological_order()``)
+    topo_jobs: Tuple[str, ...]
+    #: successors per dense id
+    succ: Tuple[Tuple[int, ...], ...]
+    #: predecessors per dense id
+    pred: Tuple[Tuple[int, ...], ...]
+    #: all edges as dense ``(src, dst)`` pairs, in ``Workflow.edges()`` order
+    edges: Tuple[Tuple[int, int], ...]
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
 
 
 @dataclass(frozen=True)
@@ -68,6 +103,23 @@ class Workflow:
         self._jobs: Dict[str, Job] = {}
         self._succ: Dict[str, Dict[str, float]] = {}
         self._pred: Dict[str, Dict[str, float]] = {}
+        #: bumped on every mutation (jobs, edges *and* edge data) — cost
+        #: caches key on this
+        self._version: int = 0
+        #: bumped only when jobs/edges change — the structure index keys on
+        #: this (edge-data updates do not invalidate topology)
+        self._structure_version: int = 0
+        self._structure_cache: Optional[WorkflowIndex] = None
+        self._structure_cache_version: int = -1
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (jobs, edges and edge-data changes).
+
+        Cost and rank caches use ``(workflow.version, ...)`` keys so they
+        are invalidated automatically whenever the workflow mutates.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -85,6 +137,7 @@ class Workflow:
         self._jobs[job.job_id] = job
         self._succ.setdefault(job.job_id, {})
         self._pred.setdefault(job.job_id, {})
+        self._touch_structure()
         return job
 
     def add_edge(self, src: str, dst: str, data: float = 0.0) -> None:
@@ -109,11 +162,13 @@ class Workflow:
             raise ValueError("edge data must be non-negative")
         self._succ[src][dst] = float(data)
         self._pred[dst][src] = float(data)
+        self._touch_structure()
 
     def remove_edge(self, src: str, dst: str) -> None:
         """Remove the edge ``src -> dst`` (KeyError if absent)."""
         del self._succ[src][dst]
         del self._pred[dst][src]
+        self._touch_structure()
 
     def set_data(self, src: str, dst: str, data: float) -> None:
         """Update the data volume of an existing edge."""
@@ -123,6 +178,14 @@ class Workflow:
             raise ValueError("edge data must be non-negative")
         self._succ[src][dst] = float(data)
         self._pred[dst][src] = float(data)
+        self._version += 1  # costs change, topology does not
+
+    # ------------------------------------------------------------------
+    # cache bookkeeping
+    # ------------------------------------------------------------------
+    def _touch_structure(self) -> None:
+        self._version += 1
+        self._structure_version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -189,7 +252,40 @@ class Workflow:
 
         Raises ``ValueError`` if the graph has a cycle.
         """
-        return topological_order(self.jobs, self._succ)
+        return list(self.structure().topo_jobs)
+
+    def structure(self) -> WorkflowIndex:
+        """The cached :class:`WorkflowIndex` of the current structure.
+
+        Rebuilt lazily after any job/edge mutation; edge-data updates keep
+        the cache.  Raises ``ValueError`` if the graph has a cycle.
+        """
+        if (
+            self._structure_cache is None
+            or self._structure_cache_version != self._structure_version
+        ):
+            jobs = tuple(self._jobs.keys())
+            index = {job: i for i, job in enumerate(jobs)}
+            topo_jobs = tuple(topological_order(list(jobs), self._succ))
+            self._structure_cache = WorkflowIndex(
+                jobs=jobs,
+                index=index,
+                topo=tuple(index[job] for job in topo_jobs),
+                topo_jobs=topo_jobs,
+                succ=tuple(
+                    tuple(index[dst] for dst in self._succ[job]) for job in jobs
+                ),
+                pred=tuple(
+                    tuple(index[src] for src in self._pred[job]) for job in jobs
+                ),
+                edges=tuple(
+                    (index[src], index[dst])
+                    for src, succ in self._succ.items()
+                    for dst in succ
+                ),
+            )
+            self._structure_cache_version = self._structure_version
+        return self._structure_cache
 
     def is_acyclic(self) -> bool:
         """``True`` if the graph is a DAG."""

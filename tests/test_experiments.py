@@ -220,3 +220,61 @@ class TestReporting:
         text = render_case_results([result])
         assert "HEFT" in text and "%" in text
         assert render_case_results([]) == "(no data)"
+
+
+class TestParallelCaseRunner:
+    def _experiments(self):
+        configs = [
+            RandomExperimentConfig(
+                v=20, resources=4, interval=200.0, fraction=0.25,
+                omega_dag=80.0, seed=seed,
+            )
+            for seed in (0, 1, 2)
+        ]
+        return [
+            ExperimentCase(config.build_case(), config.build_resource_model())
+            for config in configs
+        ]
+
+    def test_workers_match_serial(self):
+        from repro.experiments.sweep import run_cases
+
+        serial = run_cases(self._experiments(), strategies=("HEFT", "AHEFT"))
+        parallel = run_cases(
+            self._experiments(), strategies=("HEFT", "AHEFT"), workers=2
+        )
+        assert [r.makespans for r in serial] == [r.makespans for r in parallel]
+        assert [r.params for r in serial] == [r.params for r in parallel]
+        assert [r.rescheduling_counts for r in serial] == [
+            r.rescheduling_counts for r in parallel
+        ]
+
+    def test_workers_one_stays_serial(self):
+        from repro.experiments.runner import run_case_batch
+
+        experiments = self._experiments()
+        assert len(run_case_batch(experiments, workers=1)) == len(experiments)
+
+    def test_sweep_accepts_workers(self):
+        points = sweep_random_parameter(
+            "ccr",
+            [1.0],
+            base_config=RandomExperimentConfig(
+                v=20, resources=4, interval=200.0, fraction=0.25, omega_dag=80.0
+            ),
+            instances=2,
+            seed=2,
+            workers=2,
+        )
+        reference = sweep_random_parameter(
+            "ccr",
+            [1.0],
+            base_config=RandomExperimentConfig(
+                v=20, resources=4, interval=200.0, fraction=0.25, omega_dag=80.0
+            ),
+            instances=2,
+            seed=2,
+        )
+        assert [p.mean_makespans for p in points] == [
+            p.mean_makespans for p in reference
+        ]

@@ -1,7 +1,28 @@
-"""Tests for scheduling data structures: Assignment, Schedule, timelines, state."""
+"""Tests for scheduling data structures: Assignment, Schedule, timelines, state.
+
+Includes the fast-kernel guarantees: a hypothesis property test that the
+bisect-based :class:`ResourceTimeline` behaves exactly like the seed (naive
+O(n²)) timeline on random interval sequences, and equivalence tests that the
+rewritten HEFT/AHEFT produce bit-identical schedules to the frozen seed
+kernel on seeded random and application DAGs.
+"""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.adaptive import run_adaptive
+from repro.generators.blast import generate_blast_case
+from repro.generators.random_dag import RandomDAGParameters, generate_random_case
+from repro.generators.wien2k import generate_wien2k_case
+from repro.resources.dynamics import ResourceChangeModel
+from repro.scheduling._seed_reference import (
+    SeedAHEFTScheduler,
+    SeedResourceTimeline,
+    seed_aheft_reschedule,
+    seed_heft_schedule,
+)
+from repro.scheduling.aheft import AHEFTScheduler, aheft_reschedule
 from repro.scheduling.base import (
     Assignment,
     ExecutionState,
@@ -9,6 +30,7 @@ from repro.scheduling.base import (
     ResourceTimeline,
     Schedule,
 )
+from repro.scheduling.heft import heft_schedule
 
 
 class TestAssignment:
@@ -66,6 +88,194 @@ class TestResourceTimeline:
         tl = ResourceTimeline("r1")
         tl.occupy(0.0, 5.0, "a")
         assert tl.utilisation(10.0) == pytest.approx(0.5)
+
+
+#: quarter-unit grid keeps the generated times well away from TIME_EPS-scale
+#: coincidences while still exercising touching, nested and zero-length
+#: intervals.
+_GRID = 0.25
+
+
+class TestTimelineMatchesSeedTimeline:
+    """Property test: bisect timeline ≡ naive seed timeline."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 120), st.integers(0, 30)), max_size=40
+        ),
+        queries=st.lists(
+            st.tuples(st.integers(0, 160), st.integers(0, 30)),
+            min_size=1,
+            max_size=12,
+        ),
+        available=st.integers(0, 40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_occupy_ready_earliest_match(self, ops, queries, available):
+        fast = ResourceTimeline("r", available_from=available * _GRID)
+        naive = SeedResourceTimeline("r", available_from=available * _GRID)
+        for k, (start_units, duration_units) in enumerate(ops):
+            start = start_units * _GRID
+            finish = (start_units + duration_units) * _GRID
+            job = f"job{k}"
+            naive_raised = fast_raised = False
+            try:
+                naive.occupy(start, finish, job)
+            except ValueError:
+                naive_raised = True
+            try:
+                fast.occupy(start, finish, job)
+            except ValueError:
+                fast_raised = True
+            assert fast_raised == naive_raised, (start, finish, naive.intervals())
+        assert fast.intervals() == naive.intervals()
+        assert fast.ready_time() == naive.ready_time()
+        for ready_units, duration_units in queries:
+            ready = ready_units * _GRID
+            duration = duration_units * _GRID
+            for insertion in (True, False):
+                assert fast.earliest_start(
+                    ready, duration, insertion=insertion
+                ) == naive.earliest_start(ready, duration, insertion=insertion), (
+                    ready,
+                    duration,
+                    insertion,
+                    fast.intervals(),
+                )
+
+    def test_zero_length_task_can_slot_before_ready_boundary(self):
+        # zero-duration tasks take the seed's full gap scan; make sure the
+        # two implementations agree on the degenerate path too
+        fast = ResourceTimeline("r")
+        naive = SeedResourceTimeline("r")
+        for timeline in (fast, naive):
+            timeline.occupy(0.0, 5.0, "a")
+            timeline.occupy(5.0, 9.0, "b")
+        assert fast.earliest_start(5.0, 0.0) == naive.earliest_start(5.0, 0.0)
+        assert fast.earliest_start(4.0, 0.0) == naive.earliest_start(4.0, 0.0)
+
+
+def _random_cases(seeds=(0, 1, 2), v=60):
+    for seed in seeds:
+        params = RandomDAGParameters(
+            v=v, out_degree=0.2, ccr=1.0, beta=0.5, omega_dag=300.0
+        )
+        yield generate_random_case(params, seed=seed)
+
+
+def _application_cases():
+    yield generate_blast_case(24, ccr=1.0, beta=0.5, omega_dag=300.0, seed=4)
+    yield generate_wien2k_case(16, ccr=1.0, beta=0.5, omega_dag=300.0, seed=4)
+
+
+class TestKernelEquivalence:
+    """The fast kernel must be bit-identical to the frozen seed kernel."""
+
+    def test_static_heft_identical_on_random_dags(self):
+        resources = [f"r{i + 1}" for i in range(12)]
+        for case in _random_cases():
+            fast = heft_schedule(case.workflow, case.costs, resources)
+            seed = seed_heft_schedule(case.workflow, case.costs, resources)
+            assert fast.to_dict() == seed.to_dict()
+            assert fast.makespan() == seed.makespan()
+
+    def test_static_heft_identical_on_application_dags(self):
+        resources = [f"r{i + 1}" for i in range(10)]
+        for case in _application_cases():
+            fast = heft_schedule(case.workflow, case.costs, resources)
+            seed = seed_heft_schedule(case.workflow, case.costs, resources)
+            assert fast.to_dict() == seed.to_dict()
+
+    def test_aheft_reschedule_identical_mid_flight(self):
+        resources = [f"r{i + 1}" for i in range(8)]
+        for case in _random_cases(seeds=(5, 6)):
+            previous = heft_schedule(case.workflow, case.costs, resources)
+            clock = previous.makespan() * 0.35
+            grown = resources + ["g1", "g2", "g3"]
+            fast = aheft_reschedule(
+                case.workflow,
+                case.costs,
+                grown,
+                clock=clock,
+                previous_schedule=previous,
+            )
+            seed = seed_aheft_reschedule(
+                case.workflow,
+                case.costs,
+                grown,
+                clock=clock,
+                previous_schedule=previous,
+            )
+            assert fast.to_dict() == seed.to_dict()
+
+    def test_aheft_reschedule_identical_without_respect_running(self):
+        resources = [f"r{i + 1}" for i in range(6)]
+        case = next(iter(_random_cases(seeds=(9,))))
+        previous = heft_schedule(case.workflow, case.costs, resources)
+        clock = previous.makespan() * 0.5
+        kwargs = dict(
+            clock=clock, previous_schedule=previous, respect_running=False
+        )
+        fast = aheft_reschedule(case.workflow, case.costs, resources, **kwargs)
+        seed = seed_aheft_reschedule(case.workflow, case.costs, resources, **kwargs)
+        assert fast.to_dict() == seed.to_dict()
+
+    def test_adaptive_run_identical_over_pool_events(self):
+        model = ResourceChangeModel(
+            initial_size=8, interval=150.0, fraction=0.2, max_events=6
+        )
+        for case in _random_cases(seeds=(3,), v=80):
+            pool = model.build_pool()
+            fast = run_adaptive(
+                case.workflow, case.costs, pool, scheduler=AHEFTScheduler()
+            )
+            seed = run_adaptive(
+                case.workflow, case.costs, pool, scheduler=SeedAHEFTScheduler()
+            )
+            assert fast.final_schedule.to_dict() == seed.final_schedule.to_dict()
+            assert fast.makespan == seed.makespan
+            assert fast.rescheduling_count == seed.rescheduling_count
+
+    def test_adaptive_run_identical_on_application_dag(self):
+        model = ResourceChangeModel(
+            initial_size=6, interval=200.0, fraction=0.25, max_events=5
+        )
+        case = generate_blast_case(20, ccr=1.0, beta=0.5, omega_dag=300.0, seed=8)
+        pool = model.build_pool()
+        fast = run_adaptive(case.workflow, case.costs, pool, scheduler=AHEFTScheduler())
+        seed = run_adaptive(
+            case.workflow, case.costs, pool, scheduler=SeedAHEFTScheduler()
+        )
+        assert fast.final_schedule.to_dict() == seed.final_schedule.to_dict()
+        assert fast.makespan == seed.makespan
+
+    def test_priority_cache_invalidated_by_workflow_mutation(self):
+        from repro.scheduling.heft import heft_priority_order
+        from repro.workflow.analysis import upward_ranks
+
+        case = next(iter(_random_cases(seeds=(1,), v=20)))
+        wf, costs = case.workflow, case.costs
+        resources = ["r1", "r2", "r3"]
+        order_before = heft_priority_order(wf, costs, resources)
+        ranks_before = upward_ranks(wf, costs, resources)
+        # second call must come from the cache and be equal
+        assert heft_priority_order(wf, costs, resources) == order_before
+        # structural mutation invalidates both ranks and order
+        entry = wf.entry_jobs()[0]
+        exit_job = wf.exit_jobs()[-1]
+        wf.add_job("late_straggler")
+        wf.add_edge(entry, "late_straggler", data=5.0)
+        wf.add_edge("late_straggler", exit_job, data=5.0)
+        # the new job needs costs before ranks can be recomputed; in-place
+        # cost-table edits must be followed by invalidate_cache()
+        costs.base_costs["late_straggler"] = 100.0
+        costs.invalidate_cache()
+        ranks_after = upward_ranks(wf, costs, resources)
+        assert "late_straggler" in ranks_after
+        # the extra entry -> straggler -> exit path can only raise the
+        # entry's rank, never lower it
+        assert ranks_after[entry] >= ranks_before[entry]
+        assert "late_straggler" in heft_priority_order(wf, costs, resources)
 
 
 class TestSchedule:

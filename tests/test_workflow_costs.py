@@ -46,6 +46,51 @@ class TestTabularCostModel:
         assert diamond_costs.average_computation_cost("a") == pytest.approx(3.0)
         assert diamond_costs.average_computation_cost("a", ["r1"]) == 2.0
 
+    def test_average_computation_none_means_intrinsic(self, diamond_costs):
+        assert diamond_costs.average_computation_cost(
+            "a", None
+        ) == diamond_costs.intrinsic_average_computation_cost("a")
+
+    def test_average_computation_empty_resources_raises(self, diamond_costs):
+        # an explicitly empty pool must not silently fall back to the
+        # intrinsic average (it used to, via a truthiness check)
+        with pytest.raises(ValueError, match="empty resource set"):
+            diamond_costs.average_computation_cost("a", [])
+        with pytest.raises(ValueError, match="empty resource set"):
+            diamond_costs.average_computation_cost("a", ())
+
+    def test_average_computation_costs_vector_empty_resources_raises(
+        self, diamond_costs
+    ):
+        with pytest.raises(ValueError, match="empty resource set"):
+            diamond_costs.average_computation_costs([])
+
+    def test_dense_views_match_scalar_queries(self, diamond_workflow, diamond_costs):
+        resources = ["r1", "r2"]
+        matrix = diamond_costs.computation_matrix(resources)
+        averages = diamond_costs.average_computation_costs(resources)
+        for i, job in enumerate(diamond_workflow.jobs):
+            for j, rid in enumerate(resources):
+                assert matrix[i, j] == diamond_costs.computation_cost(job, rid)
+            assert averages[i] == diamond_costs.average_computation_cost(
+                job, resources
+            )
+        comm = diamond_costs.edge_communication_costs()
+        for k, (src, dst, _) in enumerate(diamond_workflow.edges()):
+            assert comm[k] == diamond_costs.average_communication_cost(src, dst)
+
+    def test_invalidate_cache_drops_stale_dense_views(self, diamond_costs):
+        resources = ["r1", "r2"]
+        before = diamond_costs.computation_matrix(resources)
+        assert diamond_costs.computation_matrix(resources) is before  # memo hit
+        # in-place table edit: invisible to the workflow version, so the
+        # model must be told explicitly
+        diamond_costs._comp["a"]["r1"] = 99.0
+        diamond_costs.invalidate_cache()
+        after = diamond_costs.computation_matrix(resources)
+        assert after is not before
+        assert after[0, 0] == 99.0
+
     def test_resources_listing(self, diamond_costs):
         assert diamond_costs.resources() == ["r1", "r2"]
 
