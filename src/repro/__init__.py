@@ -89,6 +89,16 @@ from repro.experiments import (
     render_improvement_table,
     render_series,
 )
+from repro.scenarios import (
+    Scenario,
+    ScenarioRun,
+    PerformanceProfile,
+    ScaledCostModel,
+    available_scenarios,
+    compose,
+    make_scenario,
+    materialize,
+)
 
 __version__ = "1.0.0"
 
@@ -154,4 +164,13 @@ __all__ = [
     "improvement_rate",
     "render_improvement_table",
     "render_series",
+    # scenarios
+    "Scenario",
+    "ScenarioRun",
+    "PerformanceProfile",
+    "ScaledCostModel",
+    "available_scenarios",
+    "compose",
+    "make_scenario",
+    "materialize",
 ]

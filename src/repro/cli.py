@@ -1,0 +1,459 @@
+"""``python -m repro`` — the reproduction's command-line interface.
+
+Four subcommands make the benchmark matrix scriptable from CI and from a
+shell alike:
+
+* ``repro scenarios`` — list the registered grid-dynamics scenarios;
+* ``repro run <bench>`` — run a benchmark script from ``benchmarks/`` by
+  (fuzzy) name, forwarding extra arguments (e.g. ``repro run kernel --
+  --quick``);
+* ``repro sweep --scenario churn ...`` — run the strategy comparison under
+  one or more named scenarios and write a JSON ledger;
+* ``repro compare <ledger-A> <ledger-B>`` — compare two JSON ledgers
+  within a tolerance.
+
+Exit-code contract (relied on by shell pipelines and the CI regression
+gate): **0** on success, **1** when ``repro compare`` finds a deviation
+beyond tolerance, **2** on usage or I/O errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["main"]
+
+EXIT_OK = 0
+EXIT_DEVIATION = 1
+EXIT_ERROR = 2
+
+_NUMBER_RE = re.compile(r"-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?")
+
+
+class CliError(Exception):
+    """A usage/environment error; maps to exit code 2."""
+
+
+# ----------------------------------------------------------------------
+# repro scenarios
+# ----------------------------------------------------------------------
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import available_scenarios, make_scenario, scenario_summary
+
+    if args.json:
+        payload = {
+            name: {
+                "summary": scenario_summary(name),
+                "defaults": make_scenario(name).params(),
+            }
+            for name in available_scenarios()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return EXIT_OK
+    width = max(len(name) for name in available_scenarios())
+    for name in available_scenarios():
+        print(f"{name:<{width}}  {scenario_summary(name)}")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# repro run
+# ----------------------------------------------------------------------
+def _bench_dir(explicit: Optional[str]) -> Path:
+    if explicit:
+        path = Path(explicit)
+        if not path.is_dir():
+            raise CliError(f"benchmark directory not found: {path}")
+        return path
+    candidates = [
+        Path.cwd() / "benchmarks",
+        Path(__file__).resolve().parents[2] / "benchmarks",
+    ]
+    for path in candidates:
+        if path.is_dir():
+            return path
+    raise CliError(
+        "no benchmarks/ directory found (looked in "
+        + ", ".join(str(c) for c in candidates)
+        + "); pass --bench-dir"
+    )
+
+
+def _resolve_bench(directory: Path, name: str) -> Path:
+    scripts = sorted(directory.glob("bench_*.py"))
+    exact = [s for s in scripts if s.name in (name, f"bench_{name}.py")]
+    if exact:
+        return exact[0]
+    matches = [s for s in scripts if name in s.stem]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise CliError(
+            f"no benchmark matches {name!r}; available: "
+            + ", ".join(s.stem.removeprefix("bench_") for s in scripts)
+        )
+    raise CliError(
+        f"benchmark name {name!r} is ambiguous: "
+        + ", ".join(s.stem.removeprefix("bench_") for s in matches)
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import runpy
+
+    directory = _bench_dir(args.bench_dir)
+    if args.list or args.bench is None:
+        for script in sorted(directory.glob("bench_*.py")):
+            print(script.stem.removeprefix("bench_"))
+        return EXIT_OK
+    script = _resolve_bench(directory, args.bench)
+    forwarded = list(args.bench_args)
+    if forwarded and forwarded[0] != "--":
+        # argparse.REMAINDER swallows everything after the benchmark name,
+        # including repro's own options; insist on the explicit separator
+        # so a mistyped `repro run bench --bench-dir X` fails loudly
+        # instead of silently forwarding the flag to the script.
+        raise CliError(
+            "place repro options before the benchmark name; script arguments "
+            f"go after a literal '--' (got {forwarded[0]!r})"
+        )
+    forwarded = forwarded[1:]
+    print(f"running {script} {' '.join(forwarded)}".rstrip())
+    old_argv = sys.argv
+    old_path = list(sys.path)
+    try:
+        # benchmarks import their shared helpers as ``from _common import …``
+        sys.path.insert(0, str(directory))
+        sys.argv = [str(script), *forwarded]
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+        sys.path[:] = old_path
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# repro sweep
+# ----------------------------------------------------------------------
+def _parse_value(raw: str) -> object:
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    if raw.lower() in ("none", "null"):
+        return None
+    return raw
+
+
+def _parse_kv(pairs: Sequence[str], option: str) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise CliError(f"{option} expects key=value, got {pair!r}")
+        out[key] = _parse_value(value)
+    return out
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.config import RandomExperimentConfig
+    from repro.experiments.reporting import render_scenario_matrix
+    from repro.experiments.sweep import sweep_scenarios
+    from repro.scenarios import make_scenario
+
+    scenario_params = _parse_kv(args.scenario_param, "--scenario-param")
+    scenarios = []
+    for name in args.scenario:
+        try:
+            scenarios.append(make_scenario(name, **scenario_params))
+        except TypeError as error:
+            # e.g. --scenario-param interval=... applied to a scenario
+            # without an `interval` parameter
+            raise CliError(f"scenario {name!r} rejected parameters: {error}") from None
+
+    v = args.v if args.v is not None else (30 if args.quick else 60)
+    resources = args.resources if args.resources is not None else (8 if args.quick else 10)
+    instances = args.instances if args.instances is not None else (1 if args.quick else 3)
+    base = RandomExperimentConfig(
+        v=v,
+        ccr=args.ccr,
+        out_degree=args.out_degree,
+        beta=args.beta,
+        resources=resources,
+        seed=args.seed,
+    )
+    strategies = tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+    points = sweep_scenarios(
+        scenarios,
+        base_config=base,
+        instances=instances,
+        strategies=strategies,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    table = render_scenario_matrix(
+        points, strategies=strategies, title=f"Scenario sweep ({args.name})"
+    )
+    print(table)
+
+    ledger = {
+        "name": args.name,
+        "kind": "scenario_sweep",
+        "base_config": base.as_params(),
+        "instances": instances,
+        "seed": args.seed,
+        "strategies": list(strategies),
+        "scenario_params": scenario_params,
+        "scenarios": [point.as_dict() for point in points],
+        "lines": table.splitlines(),
+    }
+    out = Path(args.out) if args.out else _bench_dir(None) / "results" / f"{args.name}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(ledger, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    print(f"ledger written to {out}")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# repro compare
+# ----------------------------------------------------------------------
+def _flatten(value: object, prefix: str = "") -> Iterator[Tuple[str, object]]:
+    if isinstance(value, dict):
+        for key in sorted(value):
+            yield from _flatten(value[key], f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            yield from _flatten(item, f"{prefix}[{index}]")
+    else:
+        yield prefix, value
+
+
+def _relative_deviation(a: float, b: float) -> float:
+    if a == b:
+        return 0.0
+    scale = max(abs(a), abs(b))
+    if scale == 0:
+        return 0.0
+    return abs(a - b) / scale
+
+
+def _tolerance_for(
+    path: str, default: float, per_key: Sequence[Tuple[str, float]]
+) -> Optional[float]:
+    """Tolerance for ``path`` — ``None`` means the key is ignored."""
+    for pattern, tolerance in per_key:
+        if fnmatch.fnmatch(path, pattern):
+            return tolerance
+    return default
+
+
+def _load_json(path: str) -> object:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except OSError as error:
+        raise CliError(f"cannot read {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise CliError(f"{path} is not valid JSON: {error}") from error
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    left = dict(_flatten(_load_json(args.baseline)))
+    right = dict(_flatten(_load_json(args.candidate)))
+    per_key: List[Tuple[str, float]] = []
+    for pair in args.key_tolerance:
+        pattern, sep, raw = pair.rpartition("=")
+        if not sep or not pattern:
+            raise CliError(f"--key-tolerance expects GLOB=FLOAT, got {pair!r}")
+        try:
+            per_key.append((pattern, float(raw)))
+        except ValueError:
+            raise CliError(f"--key-tolerance expects GLOB=FLOAT, got {pair!r}") from None
+
+    def ignored(path: str) -> bool:
+        if args.only and not any(fnmatch.fnmatch(path, glob) for glob in args.only):
+            return True
+        return any(fnmatch.fnmatch(path, glob) for glob in args.ignore)
+
+    deviations: List[str] = []
+    compared = 0
+
+    for path in sorted(set(left) | set(right)):
+        if ignored(path):
+            continue
+        if path not in left or path not in right:
+            if not args.missing_ok:
+                side = args.candidate if path not in right else args.baseline
+                deviations.append(f"{path}: missing from {side}")
+            continue
+        a, b = left[path], right[path]
+        tolerance = _tolerance_for(path, args.tolerance, per_key)
+        a_num = isinstance(a, (int, float)) and not isinstance(a, bool)
+        b_num = isinstance(b, (int, float)) and not isinstance(b, bool)
+        if a_num and b_num:
+            compared += 1
+            deviation = _relative_deviation(float(a), float(b))
+            if deviation > tolerance:
+                deviations.append(
+                    f"{path}: {a} vs {b} (rel. dev {deviation:.3g} > {tolerance:g})"
+                )
+        elif isinstance(a, str) and isinstance(b, str):
+            # Embedded numbers (e.g. the human-readable ``lines`` of a
+            # ledger) are compared within tolerance; the text around them
+            # must match exactly.
+            a_nums = [float(m) for m in _NUMBER_RE.findall(a)]
+            b_nums = [float(m) for m in _NUMBER_RE.findall(b)]
+            a_text = _NUMBER_RE.sub("#", a)
+            b_text = _NUMBER_RE.sub("#", b)
+            if a_text != b_text or len(a_nums) != len(b_nums):
+                deviations.append(f"{path}: text differs: {a!r} vs {b!r}")
+                continue
+            for index, (x, y) in enumerate(zip(a_nums, b_nums)):
+                compared += 1
+                deviation = _relative_deviation(x, y)
+                if deviation > tolerance:
+                    deviations.append(
+                        f"{path} (number {index}): {x} vs {y} "
+                        f"(rel. dev {deviation:.3g} > {tolerance:g})"
+                    )
+        elif a != b:
+            deviations.append(f"{path}: {a!r} != {b!r}")
+
+    for line in deviations:
+        print(f"DEVIATION  {line}")
+    status = "FAIL" if deviations else "OK"
+    print(
+        f"{status}: {compared} numeric value(s) compared, "
+        f"{len(deviations)} deviation(s) beyond tolerance {args.tolerance:g} "
+        f"({args.baseline} vs {args.candidate})"
+    )
+    return EXIT_DEVIATION if deviations else EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__.split("\n\n")[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_scn = sub.add_parser("scenarios", help="list registered grid-dynamics scenarios")
+    p_scn.add_argument("--json", action="store_true", help="machine-readable output")
+    p_scn.set_defaults(func=_cmd_scenarios)
+
+    p_run = sub.add_parser("run", help="run a benchmark from benchmarks/ by name")
+    p_run.add_argument("bench", nargs="?", help="benchmark name (fuzzy match)")
+    p_run.add_argument("--bench-dir", help="benchmarks directory (default: auto)")
+    p_run.add_argument("--list", action="store_true", help="list benchmark names")
+    p_run.add_argument(
+        "bench_args",
+        nargs=argparse.REMAINDER,
+        help="script arguments after a literal -- (e.g. repro run kernel -- --quick)",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="compare strategies under named scenarios, write a JSON ledger"
+    )
+    p_sweep.add_argument(
+        "--scenario",
+        action="append",
+        required=True,
+        help="scenario name (repeatable); see `repro scenarios`",
+    )
+    p_sweep.add_argument(
+        "--scenario-param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="override a scenario parameter (applies to every --scenario)",
+    )
+    p_sweep.add_argument("--name", default="scenario_sweep", help="ledger name")
+    p_sweep.add_argument("--out", help="ledger path (default benchmarks/results/<name>.json)")
+    p_sweep.add_argument("--v", type=int, default=None, help="jobs per random DAG")
+    p_sweep.add_argument("--resources", type=int, default=None, help="initial pool size R")
+    p_sweep.add_argument("--ccr", type=float, default=1.0)
+    p_sweep.add_argument("--out-degree", type=float, default=0.2)
+    p_sweep.add_argument("--beta", type=float, default=0.5)
+    p_sweep.add_argument("--instances", type=int, default=None, help="instances averaged")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument(
+        "--strategies", default="HEFT,AHEFT,MinMin", help="comma-separated strategy names"
+    )
+    p_sweep.add_argument("--workers", type=int, default=None, help="parallel case workers")
+    p_sweep.add_argument(
+        "--quick", action="store_true", help="CI smoke defaults (v=30, R=8, 1 instance)"
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="compare two JSON ledgers; exit 1 when a metric deviates beyond tolerance",
+    )
+    p_cmp.add_argument("baseline", help="baseline ledger (committed)")
+    p_cmp.add_argument("candidate", help="candidate ledger (freshly generated)")
+    p_cmp.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-6,
+        help="default max relative deviation (default 1e-6)",
+    )
+    p_cmp.add_argument(
+        "--key-tolerance",
+        action="append",
+        default=[],
+        metavar="GLOB=FLOAT",
+        help="per-key tolerance override (first matching glob wins)",
+    )
+    p_cmp.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="ignore keys matching this glob (repeatable)",
+    )
+    p_cmp.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="compare only keys matching one of these globs",
+    )
+    p_cmp.add_argument(
+        "--missing-ok",
+        action="store_true",
+        help="do not treat keys present in only one ledger as deviations",
+    )
+    p_cmp.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    from repro.scenarios import ScenarioError
+
+    try:
+        return args.func(args)
+    except (CliError, ScenarioError) as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

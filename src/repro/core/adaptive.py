@@ -24,11 +24,17 @@ caller supplies a perturbed ``actual_costs`` model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.resources.pool import PoolEvent, ResourcePool
 from repro.scheduling.aheft import AHEFTScheduler
-from repro.scheduling.base import ExecutionState, Schedule, TIME_EPS
+from repro.scheduling.base import (
+    Assignment,
+    ExecutionState,
+    JobStatus,
+    Schedule,
+    TIME_EPS,
+)
 from repro.scheduling.heft import HEFTScheduler
 from repro.scheduling.minmin import MinMinScheduler
 from repro.simulation.executor import JustInTimeExecutor, StaticScheduleExecutor
@@ -40,6 +46,7 @@ __all__ = [
     "ReschedulingDecision",
     "AdaptiveRunResult",
     "AdaptiveReschedulingLoop",
+    "repair_schedule",
     "run_static",
     "run_adaptive",
     "run_dynamic",
@@ -48,13 +55,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ReschedulingDecision:
-    """Outcome of evaluating one event in the adaptive loop."""
+    """Outcome of evaluating one event in the adaptive loop.
+
+    ``forced`` marks decisions where the previous plan had become
+    *infeasible* — unfinished work was mapped to a resource that departed —
+    so the candidate was adopted regardless of the accept-if-better rule.
+    """
 
     time: float
     event: str
     previous_makespan: float
     candidate_makespan: float
     adopted: bool
+    forced: bool = False
 
     @property
     def predicted_gain(self) -> float:
@@ -71,6 +84,10 @@ class AdaptiveRunResult:
     final_schedule: Schedule
     decisions: List[ReschedulingDecision] = field(default_factory=list)
     trace: Optional[ExecutionTrace] = None
+    killed_jobs: int = 0
+    #: wasted work recorded by the analytic planning loop (simulated runs
+    #: report it through the trace instead — see :attr:`wasted_work`).
+    planned_wasted_work: float = 0.0
 
     @property
     def makespan(self) -> float:
@@ -91,6 +108,13 @@ class AdaptiveRunResult:
     @property
     def evaluated_events(self) -> int:
         return len(self.decisions)
+
+    @property
+    def wasted_work(self) -> float:
+        """Execution time thrown away on departure kills."""
+        if self.trace is not None:
+            return self.trace.wasted_work()
+        return self.planned_wasted_work
 
 
 class AdaptiveReschedulingLoop:
@@ -129,14 +153,31 @@ class AdaptiveReschedulingLoop:
         *,
         events: Optional[Sequence[PoolEvent]] = None,
         strategy_name: Optional[str] = None,
+        perf_profile=None,
     ) -> AdaptiveRunResult:
-        """Plan, then react to every pool event until the workflow finishes.
+        """Plan, then react to every event until the workflow finishes.
 
         Under the accurate-estimation assumption the execution state at each
         event time can be read directly off the schedule being executed
         (jobs finish exactly when scheduled), so the loop advances
         analytically from event to event — which is also how the paper's
         simulation treats static and adaptive strategies.
+
+        Beyond the paper's join-only events the loop honours the adversarial
+        scenario vocabulary:
+
+        * **departures** — jobs running on a departing resource at the event
+          time are killed (their partial execution counted as wasted work)
+          and return to the unscheduled set; if any unfinished work was
+          mapped to a departed resource the previous plan is *infeasible*
+          and the candidate is adopted regardless of the accept-if-better
+          rule (``forced`` decisions);
+        * **performance changes** — when ``perf_profile`` marks a factor
+          change at the event time, the current plan's remaining finish
+          times are first *repaired* under the new factors (see
+          :func:`repair_schedule`) so the accept rule compares the candidate
+          against an honest baseline, and the candidate itself is planned
+          with the degraded cost model.
         """
         initial_resources = pool.available_at(0.0)
         if not initial_resources:
@@ -144,35 +185,94 @@ class AdaptiveReschedulingLoop:
         current = self.scheduler.schedule(workflow, costs, initial_resources)
         initial = current
         decisions: List[ReschedulingDecision] = []
+        wasted = 0.0
+        killed_jobs: set = set()
 
         pool_events = list(events) if events is not None else pool.events()
-        for event in sorted(pool_events, key=lambda e: e.time):
-            clock = event.time
+        # pool.events() aggregates per time point already, but events= is a
+        # public parameter: merge same-time entries instead of dropping them
+        triggers: Dict[float, Optional[PoolEvent]] = {}
+        for event in pool_events:
+            existing = triggers.get(event.time)
+            if existing is None:
+                triggers[event.time] = event
+            else:
+                triggers[event.time] = PoolEvent(
+                    time=event.time,
+                    added=tuple(sorted({*existing.added, *event.added})),
+                    removed=tuple(sorted({*existing.removed, *event.removed})),
+                )
+        perf_times = set()
+        if perf_profile is not None:
+            perf_times = set(perf_profile.change_times())
+            for time in perf_times:
+                triggers.setdefault(time, None)
+
+        for clock in sorted(triggers):
+            event = triggers[clock]
             if clock >= current.makespan() - TIME_EPS:
                 break  # the workflow finished before this event
             resources = pool.available_at(clock)
             if not resources:
                 continue
             state = ExecutionState.from_schedule(current, clock, jobs=workflow.jobs)
+
+            forced = False
+            removed_set = frozenset(event.removed) if event is not None else frozenset()
+            if removed_set:
+                for job in workflow.jobs:
+                    status = state.job_status(job)
+                    if status is JobStatus.FINISHED:
+                        continue
+                    if (
+                        status is JobStatus.RUNNING
+                        and state.executed_on.get(job) in removed_set
+                    ):
+                        wasted += clock - state.actual_start[job]
+                        killed_jobs.add(job)
+                        state.status[job] = JobStatus.NOT_STARTED
+                        state.actual_start.pop(job, None)
+                        state.executed_on.pop(job, None)
+                        forced = True
+                    elif status is JobStatus.NOT_STARTED:
+                        assignment = current.get(job)
+                        if assignment is not None and assignment.resource_id in removed_set:
+                            forced = True
+
+            effective_costs = costs
+            if perf_profile is not None:
+                effective_costs = perf_profile.scaled_costs(costs, clock)
+                if clock in perf_times:
+                    current = repair_schedule(
+                        workflow,
+                        current,
+                        state,
+                        effective_costs,
+                        clock=clock,
+                        resources=resources,
+                    )
+
             candidate = self.scheduler.reschedule(
                 workflow,
-                costs,
+                effective_costs,
                 resources,
                 clock=clock,
                 previous_schedule=current,
                 execution_state=state,
             )
             adopt = (
-                not self.accept_only_if_better
+                forced
+                or not self.accept_only_if_better
                 or candidate.makespan() < current.makespan() - self.epsilon
             )
             decisions.append(
                 ReschedulingDecision(
                     time=clock,
-                    event=_describe_event(event),
+                    event=_describe_event(event) if event is not None else "perf-change",
                     previous_makespan=current.makespan(),
                     candidate_makespan=candidate.makespan(),
                     adopted=adopt,
+                    forced=forced,
                 )
             )
             if adopt:
@@ -182,7 +282,99 @@ class AdaptiveReschedulingLoop:
             initial_schedule=initial,
             final_schedule=current,
             decisions=decisions,
+            killed_jobs=len(killed_jobs),
+            planned_wasted_work=wasted,
         )
+
+
+def repair_schedule(
+    workflow: Workflow,
+    schedule: Schedule,
+    state: ExecutionState,
+    costs: CostModel,
+    *,
+    clock: float,
+    resources: Sequence[str],
+) -> Schedule:
+    """Re-estimate a plan's remaining finish times under new perf factors.
+
+    Every mapping is kept; only times move.  Finished jobs keep their actual
+    history.  A *running* job keeps its scheduled finish time: a job's speed
+    is frozen at dispatch — exactly the semantics of the simulation
+    executors — so factor changes only affect work dispatched after them.
+    Not-started jobs are re-timed in topological order on their mapped
+    resource: ready when every predecessor's repaired output arrives
+    (average communication cost when crossing resources), durations priced
+    by ``costs`` (which already embeds the new factors).  Jobs mapped to
+    resources no longer in ``resources`` keep their old times — such a plan
+    is infeasible and the caller adopts the replacement candidate
+    unconditionally.
+
+    The repaired schedule is the honest comparison baseline for the
+    accept-if-better rule: without it a degradation would be invisible (the
+    stale plan still *predicts* the old makespan) and the Planner would
+    wrongly reject every post-degradation candidate.
+    """
+    available = set(resources)
+    repaired = Schedule(name=schedule.name)
+    finish_new: Dict[str, float] = {}
+    free: Dict[str, float] = {}
+
+    for job in workflow.jobs:
+        if state.is_finished(job):
+            assignment = Assignment(
+                job,
+                state.executed_on[job],
+                state.actual_start[job],
+                state.actual_finish[job],
+            )
+            repaired.add(assignment)
+            finish_new[job] = assignment.finish
+
+    for job in workflow.jobs:
+        if not state.is_running(job):
+            continue
+        assignment = schedule.get(job)
+        if assignment is None:
+            continue
+        rid = assignment.resource_id
+        # speed frozen at dispatch: the in-flight job finishes as scheduled
+        repaired.add(assignment)
+        finish_new[job] = assignment.finish
+        free[rid] = max(free.get(rid, clock), assignment.finish)
+
+    for job in workflow.topological_order():
+        if job in finish_new:
+            continue
+        assignment = schedule.get(job)
+        if assignment is None:
+            continue
+        rid = assignment.resource_id
+        if rid not in available:
+            # infeasible mapping — keep the stale times; the caller adopts
+            # the replacement candidate unconditionally (forced decision).
+            repaired.add(assignment)
+            finish_new[job] = assignment.finish
+            continue
+        ready = clock
+        for pred in workflow.predecessors(job):
+            pred_finish = finish_new.get(pred)
+            if pred_finish is None:
+                pred_assignment = schedule.get(pred)
+                pred_finish = pred_assignment.finish if pred_assignment else clock
+            if pred in state.executed_on:
+                pred_rid = state.executed_on[pred]
+            else:
+                pred_assignment = schedule.get(pred)
+                pred_rid = pred_assignment.resource_id if pred_assignment else rid
+            comm = 0.0 if pred_rid == rid else costs.average_communication_cost(pred, job)
+            ready = max(ready, pred_finish + comm)
+        start = max(ready, free.get(rid, clock))
+        finish = start + costs.computation_cost(job, rid)
+        repaired.add(Assignment(job, rid, start, finish))
+        finish_new[job] = finish
+        free[rid] = finish
+    return repaired
 
 
 def _describe_event(event: PoolEvent) -> str:
@@ -197,6 +389,13 @@ def _describe_event(event: PoolEvent) -> str:
 # ----------------------------------------------------------------------
 # strategy runners
 # ----------------------------------------------------------------------
+def _pool_has_departures(pool: ResourcePool) -> bool:
+    return any(
+        pool.resource(rid).available_until is not None
+        for rid in pool.all_resource_ids()
+    )
+
+
 def run_static(
     workflow: Workflow,
     costs: CostModel,
@@ -205,13 +404,18 @@ def run_static(
     scheduler: Optional[HEFTScheduler] = None,
     actual_costs: Optional[CostModel] = None,
     simulate: bool = False,
+    perf_profile=None,
+    departure_policy: str = "failover",
 ) -> AdaptiveRunResult:
     """Traditional static strategy: plan once on the initial pool.
 
     With ``simulate=True`` (or when ``actual_costs`` differs from the
     estimates) the schedule is executed on the discrete-event simulator and
     the *actual* makespan is reported; otherwise the planned makespan is
-    used directly, which is identical under accurate estimates.
+    used directly, which is identical under accurate estimates.  Pools with
+    departures and non-trivial performance profiles force the simulation:
+    the planned makespan is a fiction once resources can leave or slow down
+    mid-run.
     """
     scheduler = scheduler or HEFTScheduler()
     initial_resources = pool.available_at(0.0)
@@ -219,7 +423,13 @@ def run_static(
         raise ValueError("no resources available at time 0")
     schedule = scheduler.schedule(workflow, costs, initial_resources)
     trace = None
-    if simulate or actual_costs is not None:
+    needs_simulation = (
+        simulate
+        or actual_costs is not None
+        or (perf_profile is not None and not getattr(perf_profile, "is_trivial", False))
+        or _pool_has_departures(pool)
+    )
+    if needs_simulation:
         executor = StaticScheduleExecutor(
             workflow,
             costs,
@@ -227,6 +437,8 @@ def run_static(
             pool,
             actual_costs=actual_costs,
             strategy_name=getattr(scheduler, "name", "static"),
+            perf_profile=perf_profile,
+            departure_policy=departure_policy,
         )
         trace = executor.run()
     return AdaptiveRunResult(
@@ -234,6 +446,7 @@ def run_static(
         initial_schedule=schedule,
         final_schedule=schedule,
         trace=trace,
+        killed_jobs=len({k.job_id for k in trace.kills}) if trace is not None else 0,
     )
 
 
@@ -244,12 +457,13 @@ def run_adaptive(
     *,
     scheduler: Optional[AHEFTScheduler] = None,
     accept_only_if_better: bool = True,
+    perf_profile=None,
 ) -> AdaptiveRunResult:
-    """AHEFT adaptive rescheduling reacting to every pool change."""
+    """AHEFT adaptive rescheduling reacting to every pool/performance change."""
     loop = AdaptiveReschedulingLoop(
         scheduler or AHEFTScheduler(), accept_only_if_better=accept_only_if_better
     )
-    return loop.run(workflow, costs, pool)
+    return loop.run(workflow, costs, pool, perf_profile=perf_profile)
 
 
 def run_dynamic(
@@ -259,6 +473,7 @@ def run_dynamic(
     *,
     mapper=None,
     actual_costs: Optional[CostModel] = None,
+    perf_profile=None,
 ) -> AdaptiveRunResult:
     """Dynamic just-in-time strategy executed on the event simulator."""
     executor = JustInTimeExecutor(
@@ -267,6 +482,7 @@ def run_dynamic(
         pool,
         mapper=mapper or MinMinScheduler(),
         actual_costs=actual_costs,
+        perf_profile=perf_profile,
     )
     trace = executor.run()
     schedule = trace.to_schedule()
@@ -275,4 +491,5 @@ def run_dynamic(
         initial_schedule=schedule,
         final_schedule=schedule,
         trace=trace,
+        killed_jobs=len({k.job_id for k in trace.kills}),
     )

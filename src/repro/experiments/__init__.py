@@ -18,12 +18,14 @@ from repro.experiments.config import (
 )
 from repro.experiments.runner import CaseResult, ExperimentCase, run_case, STRATEGY_RUNNERS
 from repro.experiments.sweep import (
+    ScenarioPoint,
     SweepPoint,
     aggregate_results,
     improvement_rate_by,
     run_cases,
     sweep_application_parameter,
     sweep_random_parameter,
+    sweep_scenarios,
 )
 from repro.experiments.metrics import (
     improvement_rate,
@@ -37,6 +39,7 @@ from repro.experiments.reporting import (
     render_improvement_table,
     render_series,
     render_case_results,
+    render_scenario_matrix,
 )
 
 __all__ = [
@@ -48,12 +51,14 @@ __all__ = [
     "ExperimentCase",
     "run_case",
     "STRATEGY_RUNNERS",
+    "ScenarioPoint",
     "SweepPoint",
     "aggregate_results",
     "improvement_rate_by",
     "run_cases",
     "sweep_application_parameter",
     "sweep_random_parameter",
+    "sweep_scenarios",
     "improvement_rate",
     "makespan_statistics",
     "schedule_length_ratio",
@@ -63,4 +68,5 @@ __all__ = [
     "render_improvement_table",
     "render_series",
     "render_case_results",
+    "render_scenario_matrix",
 ]

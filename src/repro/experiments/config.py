@@ -57,8 +57,36 @@ _APPLICATION_GENERATORS = {
 }
 
 
+class _ScenarioConfigMixin:
+    """Scenario-engine wiring shared by the experiment configs.
+
+    A config carries the scenario as data (registry name + parameter
+    overrides) so configs stay frozen, hashable and picklable; the mixin
+    turns that data into live objects for the runner.
+    """
+
+    def build_scenario(self):
+        """The configured scenario instance, or ``None``."""
+        if self.scenario is None:
+            return None
+        from repro.scenarios import make_scenario
+
+        return make_scenario(self.scenario, **dict(self.scenario_params))
+
+    def to_experiment_case(self):
+        """An :class:`~repro.experiments.runner.ExperimentCase` for this point."""
+        from repro.experiments.runner import ExperimentCase
+
+        return ExperimentCase(
+            case=self.build_case(),
+            resource_model=self.build_resource_model(),
+            scenario=self.build_scenario(),
+            scenario_seed=self.seed,
+        )
+
+
 @dataclass(frozen=True)
-class RandomExperimentConfig:
+class RandomExperimentConfig(_ScenarioConfigMixin):
     """One fully specified random-DAG experiment point."""
 
     v: int = 40
@@ -74,6 +102,11 @@ class RandomExperimentConfig:
     omega_dag: float = 300.0
     instance: int = 0
     seed: int = 0
+    #: optional scenario-engine dynamics (registry name + keyword overrides);
+    #: when set, sweeps materialise the scenario instead of the (R, Δ, δ)
+    #: model — see :mod:`repro.scenarios`.
+    scenario: Optional[str] = None
+    scenario_params: Tuple[Tuple[str, object], ...] = ()
 
     def build_case(self) -> WorkflowCase:
         params = RandomDAGParameters(
@@ -93,7 +126,7 @@ class RandomExperimentConfig:
         )
 
     def as_params(self) -> Dict[str, object]:
-        return {
+        params = {
             "v": self.v,
             "ccr": self.ccr,
             "out_degree": self.out_degree,
@@ -103,10 +136,14 @@ class RandomExperimentConfig:
             "fraction": self.fraction,
             "instance": self.instance,
         }
+        if self.scenario is not None:
+            params["scenario"] = self.scenario
+            params["scenario_params"] = dict(self.scenario_params)
+        return params
 
 
 @dataclass(frozen=True)
-class ApplicationExperimentConfig:
+class ApplicationExperimentConfig(_ScenarioConfigMixin):
     """One fully specified application (BLAST / WIEN2K / Montage) point."""
 
     application: str = "blast"
@@ -121,6 +158,9 @@ class ApplicationExperimentConfig:
     omega_dag: float = 300.0
     instance: int = 0
     seed: int = 0
+    #: see :attr:`RandomExperimentConfig.scenario`
+    scenario: Optional[str] = None
+    scenario_params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.application not in _APPLICATION_GENERATORS:
@@ -151,7 +191,7 @@ class ApplicationExperimentConfig:
         )
 
     def as_params(self) -> Dict[str, object]:
-        return {
+        params = {
             "application": self.application,
             "parallelism": self.parallelism,
             "ccr": self.ccr,
@@ -161,6 +201,10 @@ class ApplicationExperimentConfig:
             "fraction": self.fraction,
             "instance": self.instance,
         }
+        if self.scenario is not None:
+            params["scenario"] = self.scenario
+            params["scenario_params"] = dict(self.scenario_params)
+        return params
 
 
 def iter_random_grid(

@@ -10,13 +10,14 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments.runner import CaseResult
-from repro.experiments.sweep import SweepPoint
+from repro.experiments.sweep import ScenarioPoint, SweepPoint
 
 __all__ = [
     "format_table",
     "render_improvement_table",
     "render_series",
     "render_case_results",
+    "render_scenario_matrix",
 ]
 
 
@@ -97,6 +98,43 @@ def render_series(
             labelled_point = series[label][point_index]
             for strategy in strategies:
                 row.append(labelled_point.mean_makespans[strategy])
+        rows.append(row)
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def render_scenario_matrix(
+    points: Sequence[ScenarioPoint],
+    *,
+    strategies: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """One row per scenario: makespans, AHEFT-vs-HEFT, reschedules, waste."""
+    if not points:
+        return "(no data)"
+    strategies = list(strategies or points[0].mean_makespans.keys())
+    headers = ["scenario"] + list(strategies)
+    has_pair = "HEFT" in strategies and "AHEFT" in strategies
+    if has_pair:
+        headers.append("AHEFT vs HEFT")
+    if "AHEFT" in strategies:
+        headers.append("resched(AHEFT)")
+    headers.append("wasted(max)")
+    rows: List[List[object]] = []
+    for point in points:
+        row: List[object] = [point.scenario]
+        for strategy in strategies:
+            row.append(point.mean_makespans.get(strategy, float("nan")))
+        if has_pair:
+            if "HEFT" in point.mean_makespans and "AHEFT" in point.mean_makespans:
+                row.append(f"{100.0 * point.improvement():.1f}%")
+            else:
+                row.append("-")
+        if "AHEFT" in strategies:
+            row.append(f"{point.mean_reschedules.get('AHEFT', 0.0):.1f}")
+        row.append(max(point.mean_wasted_work.values(), default=0.0))
         rows.append(row)
     table = format_table(headers, rows)
     if title:

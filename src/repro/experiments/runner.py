@@ -30,52 +30,96 @@ __all__ = [
     "STRATEGY_RUNNERS",
 ]
 
-#: strategy name -> runner(workflow, costs, pool) -> AdaptiveRunResult
+#: strategy name -> runner(workflow, costs, pool, **kwargs) -> AdaptiveRunResult
+#: (``perf_profile=...`` is forwarded for scenario runs)
 STRATEGY_RUNNERS: Dict[str, Callable] = {
-    "HEFT": lambda wf, costs, pool: run_static(wf, costs, pool, scheduler=HEFTScheduler()),
-    "AHEFT": lambda wf, costs, pool: run_adaptive(wf, costs, pool, scheduler=AHEFTScheduler()),
-    "MinMin": lambda wf, costs, pool: run_dynamic(wf, costs, pool, mapper=MinMinScheduler()),
-    "MaxMin": lambda wf, costs, pool: run_dynamic(wf, costs, pool, mapper=MaxMinScheduler()),
-    "Sufferage": lambda wf, costs, pool: run_dynamic(wf, costs, pool, mapper=SufferageScheduler()),
-    "AHEFT-always": lambda wf, costs, pool: run_adaptive(
-        wf, costs, pool, scheduler=AHEFTScheduler(), accept_only_if_better=False
+    "HEFT": lambda wf, costs, pool, **kw: run_static(
+        wf, costs, pool, scheduler=HEFTScheduler(), **kw
+    ),
+    "AHEFT": lambda wf, costs, pool, **kw: run_adaptive(
+        wf, costs, pool, scheduler=AHEFTScheduler(), **kw
+    ),
+    "MinMin": lambda wf, costs, pool, **kw: run_dynamic(
+        wf, costs, pool, mapper=MinMinScheduler(), **kw
+    ),
+    "MaxMin": lambda wf, costs, pool, **kw: run_dynamic(
+        wf, costs, pool, mapper=MaxMinScheduler(), **kw
+    ),
+    "Sufferage": lambda wf, costs, pool, **kw: run_dynamic(
+        wf, costs, pool, mapper=SufferageScheduler(), **kw
+    ),
+    "AHEFT-always": lambda wf, costs, pool, **kw: run_adaptive(
+        wf, costs, pool, scheduler=AHEFTScheduler(), accept_only_if_better=False, **kw
     ),
 }
 
 
 @dataclass
 class ExperimentCase:
-    """One workload instance paired with its resource dynamics."""
+    """One workload instance paired with its resource dynamics.
+
+    ``resource_model`` provides the initial pool size (the paper's ``R``)
+    and, when no ``scenario`` is set, the full pool dynamics.  With a
+    ``scenario`` the scenario engine materialises the dynamics instead:
+    the pool, the departure schedule and the performance profile all come
+    from ``materialize(scenario, initial_size=R, seed=scenario_seed)``.
+    """
 
     case: WorkflowCase
     resource_model: ResourceChangeModel | StaticResourceModel
     label: str = ""
+    scenario: Optional[object] = None
+    scenario_seed: int = 0
+
+    @property
+    def initial_size(self) -> int:
+        if isinstance(self.resource_model, ResourceChangeModel):
+            return self.resource_model.initial_size
+        return self.resource_model.size
 
     def build_pool(self) -> ResourcePool:
+        if self.scenario is not None:
+            return self.build_scenario_run().pool
         return self.resource_model.build_pool()
+
+    def build_scenario_run(self):
+        """Materialise the scenario into a pool + performance profile."""
+        if self.scenario is None:
+            raise ValueError("experiment case has no scenario")
+        from repro.scenarios import materialize
+
+        return materialize(
+            self.scenario, initial_size=self.initial_size, seed=self.scenario_seed
+        )
 
     def params(self) -> Dict[str, object]:
         params = dict(self.case.params)
-        if isinstance(self.resource_model, ResourceChangeModel):
+        params["resources"] = self.initial_size
+        if self.scenario is not None:
+            # the scenario drives the dynamics: report *its* parameters, not
+            # the inactive (R, Δ, δ) settings of the resource model
+            params["scenario"] = getattr(self.scenario, "name", str(self.scenario))
+            params["scenario_params"] = self.scenario.params()
+            params["scenario_seed"] = self.scenario_seed
+        elif isinstance(self.resource_model, ResourceChangeModel):
             params.update(
                 {
-                    "resources": self.resource_model.initial_size,
                     "interval": self.resource_model.interval,
                     "fraction": self.resource_model.fraction,
                 }
             )
-        else:
-            params.update({"resources": self.resource_model.size})
         return params
 
 
 @dataclass
 class CaseResult:
-    """Makespans of every strategy on one case."""
+    """Makespans (and recovery metrics) of every strategy on one case."""
 
     params: Dict[str, object]
     makespans: Dict[str, float]
     rescheduling_counts: Dict[str, int] = field(default_factory=dict)
+    wasted_work: Dict[str, float] = field(default_factory=dict)
+    killed_jobs: Dict[str, int] = field(default_factory=dict)
 
     def makespan(self, strategy: str) -> float:
         return self.makespans[strategy]
@@ -111,17 +155,32 @@ def run_case(
 
     makespans: Dict[str, float] = {}
     rescheduling_counts: Dict[str, int] = {}
+    wasted_work: Dict[str, float] = {}
+    killed_jobs: Dict[str, int] = {}
     for strategy in strategies:
-        pool = experiment.build_pool()
-        result: AdaptiveRunResult = runners[strategy](
-            experiment.case.workflow, experiment.case.costs, pool
-        )
+        if experiment.scenario is not None:
+            scenario_run = experiment.build_scenario_run()
+            result: AdaptiveRunResult = runners[strategy](
+                experiment.case.workflow,
+                experiment.case.costs,
+                scenario_run.pool,
+                perf_profile=scenario_run.profile,
+            )
+        else:
+            pool = experiment.build_pool()
+            result = runners[strategy](
+                experiment.case.workflow, experiment.case.costs, pool
+            )
         makespans[strategy] = result.makespan
         rescheduling_counts[strategy] = result.rescheduling_count
+        wasted_work[strategy] = getattr(result, "wasted_work", 0.0)
+        killed_jobs[strategy] = getattr(result, "killed_jobs", 0)
     return CaseResult(
         params=experiment.params(),
         makespans=makespans,
         rescheduling_counts=rescheduling_counts,
+        wasted_work=wasted_work,
+        killed_jobs=killed_jobs,
     )
 
 

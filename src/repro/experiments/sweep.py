@@ -22,12 +22,44 @@ from repro.experiments.runner import CaseResult, ExperimentCase, run_case_batch
 
 __all__ = [
     "SweepPoint",
+    "ScenarioPoint",
     "run_cases",
     "aggregate_results",
     "improvement_rate_by",
     "sweep_random_parameter",
     "sweep_application_parameter",
+    "sweep_scenarios",
 ]
+
+
+@dataclass
+class ScenarioPoint:
+    """Aggregated strategy comparison under one named scenario."""
+
+    scenario: str
+    description: str
+    mean_makespans: Dict[str, float]
+    mean_reschedules: Dict[str, float]
+    mean_wasted_work: Dict[str, float]
+    case_count: int
+    results: List[CaseResult] = field(default_factory=list)
+
+    def improvement(self, baseline: str = "HEFT", improved: str = "AHEFT") -> float:
+        """Improvement rate computed on the averaged makespans."""
+        return improvement_rate(
+            self.mean_makespans[baseline], self.mean_makespans[improved]
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for the benchmark ledgers."""
+        return {
+            "scenario": self.scenario,
+            "description": self.description,
+            "case_count": self.case_count,
+            "mean_makespans": dict(self.mean_makespans),
+            "mean_reschedules": dict(self.mean_reschedules),
+            "mean_wasted_work": dict(self.mean_wasted_work),
+        }
 
 
 @dataclass
@@ -164,6 +196,78 @@ def sweep_random_parameter(
         strategies=strategies,
         workers=workers,
     )
+
+
+def sweep_scenarios(
+    scenarios: Sequence[object],
+    *,
+    base_config: Optional[RandomExperimentConfig] = None,
+    instances: int = 3,
+    strategies: Sequence[str] = ("HEFT", "AHEFT", "MinMin"),
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> List[ScenarioPoint]:
+    """Compare the strategies under each scenario on the same workloads.
+
+    ``scenarios`` may mix registry names (``"churn"``) and
+    :class:`~repro.scenarios.base.Scenario` instances.  Every scenario runs
+    the *same* ``instances`` workflow instances (derived from
+    ``base_config``), so differences between scenario rows are caused by
+    the dynamics, not by workload sampling noise.  Reported per strategy:
+    mean makespan, mean adopted-reschedule count, and mean wasted work
+    (execution time thrown away when departures kill running jobs).
+    """
+    from repro.scenarios import make_scenario
+
+    base = base_config or RandomExperimentConfig()
+    if seed is None:
+        seed = base.seed
+    points: List[ScenarioPoint] = []
+    for entry in scenarios:
+        scenario = make_scenario(entry) if isinstance(entry, str) else entry
+        experiments: List[ExperimentCase] = []
+        for instance in range(instances):
+            config = replace(base, instance=instance, seed=seed + instance)
+            if isinstance(entry, str):
+                # registry names flow through the config layer, so the
+                # scenario choice is recorded in the config's params
+                config = replace(config, scenario=entry)
+                experiments.append(config.to_experiment_case())
+            else:
+                experiments.append(
+                    ExperimentCase(
+                        case=config.build_case(),
+                        resource_model=config.build_resource_model(),
+                        scenario=scenario,
+                        scenario_seed=config.seed,
+                    )
+                )
+        results = run_cases(experiments, strategies=strategies, workers=workers)
+        points.append(
+            ScenarioPoint(
+                scenario=scenario.name,
+                description=scenario.describe(),
+                mean_makespans={
+                    strategy: average(r.makespans[strategy] for r in results)
+                    for strategy in strategies
+                },
+                mean_reschedules={
+                    strategy: average(
+                        r.rescheduling_counts.get(strategy, 0) for r in results
+                    )
+                    for strategy in strategies
+                },
+                mean_wasted_work={
+                    strategy: average(
+                        r.wasted_work.get(strategy, 0.0) for r in results
+                    )
+                    for strategy in strategies
+                },
+                case_count=len(results),
+                results=results,
+            )
+        )
+    return points
 
 
 def sweep_application_parameter(

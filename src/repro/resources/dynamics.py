@@ -9,8 +9,17 @@ Paper §4.2 models grid dynamics with three parameters:
   at each change event.
 
 Per the experiment-design assumptions (§4.1) only resource *additions* are
-exercised during execution; departures are supported by the data model (a
-``leave_fraction``) for extension studies but default to zero.
+exercised in the paper's evaluation; ``leave_fraction`` (default zero)
+additionally retires resources, and departures are honoured **end to end**:
+the executors kill jobs running on a departing resource (recording the
+partial execution as wasted work) and re-dispatch them, and the adaptive
+Planner treats a plan with unfinished work on a departed resource as
+infeasible and replans unconditionally — see
+:mod:`repro.simulation.executor` for the full departure semantics.
+
+For richer dynamics than the (R, Δ, δ) model (busy-resource departures,
+performance degradation, load spikes, churn) use the scenario engine:
+:meth:`ResourceChangeModel.to_scenario` bridges this model into it.
 """
 
 from __future__ import annotations
@@ -139,6 +148,32 @@ class ResourceChangeModel:
             return rebuilt
         return pool
 
+    def to_scenario(self):
+        """This change model as a composable scenario-engine scenario.
+
+        The join stream maps to
+        :class:`~repro.scenarios.library.PaperJoinScenario`; a non-zero
+        ``leave_fraction`` adds a
+        :class:`~repro.scenarios.library.DepartureScenario` with the same
+        Δ.  Note the scenario engine picks departure victims uniformly
+        among *all* present resources (busy ones included), whereas
+        :meth:`build_pool` retires the oldest initial resources — the
+        scenario form is the harsher, more general reading of the same
+        parameters.
+        """
+        from repro.scenarios.library import DepartureScenario, PaperJoinScenario
+
+        paper = PaperJoinScenario(
+            interval=self.interval, fraction=self.fraction, max_events=self.max_events
+        )
+        if self.leave_fraction == 0:
+            return paper
+        return paper + DepartureScenario(
+            interval=self.interval,
+            fraction=self.leave_fraction,
+            max_events=self.max_events,
+        )
+
     def describe(self) -> str:
         """One-line human readable description (used by experiment reports)."""
         return (
@@ -163,6 +198,12 @@ class StaticResourceModel:
         for index in range(self.size):
             pool.add(Resource(f"{self.name_prefix}{index + 1}", available_from=0.0))
         return pool
+
+    def to_scenario(self):
+        """The empty event stream — scenario-engine form of a static pool."""
+        from repro.scenarios.library import StaticScenario
+
+        return StaticScenario()
 
     def describe(self) -> str:
         return f"R={self.size} (static)"

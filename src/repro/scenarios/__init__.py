@@ -1,0 +1,59 @@
+"""Composable scenarios of adversarial grid dynamics.
+
+See :mod:`repro.scenarios.base` for the engine (event streams, validation,
+materialisation into pools and performance profiles) and
+:mod:`repro.scenarios.library` for the named scenarios the experiment
+configs and the ``repro`` CLI accept.
+"""
+
+from repro.scenarios.base import (
+    ComposedScenario,
+    PerformanceProfile,
+    ScaledCostModel,
+    Scenario,
+    ScenarioContext,
+    ScenarioError,
+    ScenarioEvent,
+    ScenarioRun,
+    compose,
+    materialize,
+    validate_events,
+)
+from repro.scenarios.library import (
+    ChurnScenario,
+    DegradationScenario,
+    DepartureScenario,
+    JoinBurstScenario,
+    LoadSpikeScenario,
+    PaperJoinScenario,
+    StaticScenario,
+    available_scenarios,
+    make_scenario,
+    register_scenario,
+    scenario_summary,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioContext",
+    "ScenarioError",
+    "ScenarioEvent",
+    "ScenarioRun",
+    "ComposedScenario",
+    "PerformanceProfile",
+    "ScaledCostModel",
+    "compose",
+    "materialize",
+    "validate_events",
+    "StaticScenario",
+    "PaperJoinScenario",
+    "DepartureScenario",
+    "JoinBurstScenario",
+    "ChurnScenario",
+    "DegradationScenario",
+    "LoadSpikeScenario",
+    "available_scenarios",
+    "make_scenario",
+    "register_scenario",
+    "scenario_summary",
+]

@@ -16,22 +16,64 @@ design (§4.1):
   mapped only when it becomes ready, by a batch heuristic such as Min-Min,
   using whatever resources exist at that moment; input transfers begin only
   after the mapping decision.
+
+Departure semantics
+-------------------
+The paper's evaluation only exercises resource *additions*; the executors
+additionally honour departures (``Resource.available_until``, produced by
+``leave_fraction`` dynamics and the scenario engine) end to end:
+
+* a **running** job on a departing resource is *killed* at the departure
+  instant: its partial execution is recorded as wasted work
+  (:meth:`~repro.simulation.trace.ExecutionTrace.wasted_work`), a
+  :class:`~repro.core.events.ResourcePoolChangeEvent` is published on the
+  optional event bus (the Planner's reschedule signal), and the job is
+  re-executed;
+* a job whose scheduled resource departed **before it started** is
+  *stranded* and likewise re-dispatched;
+* a job finishing exactly at the departure instant completes normally.
+
+How the re-execution happens is strategy-specific.  The static executor
+applies its ``departure_policy``: ``"failover"`` (default) re-runs killed
+and stranded jobs just-in-time on the surviving resource that can finish
+them earliest — the honest baseline behaviour of grid middleware that
+resubmits failed jobs without replanning — while ``"fail"`` raises
+:class:`SimulationError`, for studies where a static plan losing a
+resource is a hard failure.  The just-in-time executor simply returns the
+job to the ready set and maps it again at the departure instant.
+
+Data produced by a finished job remains retrievable after its resource
+departs (outputs were already shipped under assumption 2; re-fetches are
+priced with the same communication model).
+
+Performance variance
+--------------------
+An optional ``perf_profile`` (see
+:class:`~repro.scenarios.base.PerformanceProfile`) scales *actual* job
+durations by the executing resource's slowdown factor at the job's start
+time: ``duration = actual_costs.computation_cost(job, r) · factor(r,
+start)``.  A job's speed is frozen at dispatch; factor changes affect jobs
+started after the change.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.events import EventBus, ResourcePoolChangeEvent
 from repro.resources.pool import ResourcePool
 from repro.scheduling.base import Schedule, TIME_EPS
 from repro.scheduling.minmin import MinMinScheduler
-from repro.simulation.engine import SimulationEngine, SimulationError
+from repro.simulation.engine import ScheduledEvent, SimulationEngine, SimulationError
 from repro.simulation.trace import ExecutionTrace, TransferRecord
 from repro.workflow.costs import CostModel
 from repro.workflow.dag import Workflow
 
 __all__ = ["StaticScheduleExecutor", "JustInTimeExecutor"]
+
+#: Event priority of departure handlers: after same-time job finishes
+#: (priority 0), so a job finishing exactly at the departure completes.
+_DEPARTURE_PRIORITY = 1
 
 
 class StaticScheduleExecutor:
@@ -45,10 +87,20 @@ class StaticScheduleExecutor:
     schedule:
         The plan to execute.  Every workflow job must be assigned.
     pool:
-        Resource pool; jobs can only run once their resource has joined.
+        Resource pool; jobs can only run once their resource has joined,
+        and departures kill/strand jobs as described in the module
+        docstring.
     actual_costs:
         Model providing the *actual* job durations.  Defaults to
         ``estimated_costs`` (the paper's accurate-estimation assumption).
+    perf_profile:
+        Optional per-resource slowdown factors over time; scales actual
+        durations at dispatch.
+    departure_policy:
+        ``"failover"`` (default) or ``"fail"`` — see the module docstring.
+    event_bus:
+        Optional :class:`~repro.core.events.EventBus`; departures that kill
+        or strand work publish a ``ResourcePoolChangeEvent`` on it.
     """
 
     def __init__(
@@ -60,18 +112,35 @@ class StaticScheduleExecutor:
         *,
         actual_costs: Optional[CostModel] = None,
         strategy_name: str = "static",
+        perf_profile=None,
+        departure_policy: str = "failover",
+        event_bus: Optional[EventBus] = None,
     ) -> None:
         missing = [job for job in workflow.jobs if job not in schedule]
         if missing:
             raise ValueError(f"schedule does not cover jobs: {missing}")
+        if departure_policy not in ("failover", "fail"):
+            raise ValueError(
+                f"unknown departure_policy {departure_policy!r}; "
+                "choose 'failover' or 'fail'"
+            )
         self.workflow = workflow
         self.estimated_costs = estimated_costs
         self.actual_costs = actual_costs or estimated_costs
         self.schedule = schedule
         self.pool = pool
         self.strategy_name = strategy_name
+        self.perf_profile = perf_profile
+        self.departure_policy = departure_policy
+        self.event_bus = event_bus
 
     # ------------------------------------------------------------------
+    def _duration(self, job: str, rid: str, start: float) -> float:
+        duration = self.actual_costs.computation_cost(job, rid)
+        if self.perf_profile is not None:
+            duration *= self.perf_profile.factor_at(rid, start)
+        return duration
+
     def run(self, *, engine: Optional[SimulationEngine] = None) -> ExecutionTrace:
         """Simulate the execution and return its trace."""
         engine = engine or SimulationEngine()
@@ -99,6 +168,13 @@ class StaticScheduleExecutor:
         arrivals: Dict[Tuple[str, str], float] = {}
         started: Set[str] = set()
         finished: Set[str] = set()
+        #: actual (resource, finish) of completed jobs, for failover re-fetches
+        completed_on: Dict[str, Tuple[str, float]] = {}
+        #: running job -> (finish event, resource, start)
+        in_flight: Dict[str, Tuple[ScheduledEvent, str, float]] = {}
+        #: jobs needing just-in-time failover, in strand/kill order
+        failover_queue: List[str] = []
+        departed: Set[str] = set()
 
         def data_ready(job: str, now: float) -> bool:
             for pred in self.workflow.predecessors(job):
@@ -107,9 +183,23 @@ class StaticScheduleExecutor:
                     return False
             return True
 
+        def launch(job: str, rid: str, start: float) -> None:
+            duration = self._duration(job, rid, start)
+            finish = start + duration
+            started.add(job)
+            resource_free[rid] = finish
+            event = engine.schedule_at(
+                finish,
+                lambda j=job, r=rid, s=start, f=finish: on_finish(j, r, s, f),
+                label=f"finish:{job}",
+            )
+            in_flight[job] = (event, rid, start)
+
         def try_dispatch() -> None:
             now = engine.now
             for rid, order in order_on_resource.items():
+                if rid in departed:
+                    continue
                 idx = next_index[rid]
                 if idx >= len(order):
                     continue
@@ -118,22 +208,94 @@ class StaticScheduleExecutor:
                     continue
                 if resource_free[rid] > now + TIME_EPS:
                     continue
+                # not joined yet, or departing at this very instant — the
+                # departure handler will strand the remaining order
+                if not self.pool.resource(rid).is_available_at(now):
+                    continue
                 if not data_ready(job, now):
                     continue
-                start = max(now, resource_free[rid])
-                duration = self.actual_costs.computation_cost(job, rid)
-                finish = start + duration
-                started.add(job)
                 next_index[rid] += 1
-                resource_free[rid] = finish
-                engine.schedule_at(finish, lambda j=job, r=rid, s=start, f=finish: on_finish(j, r, s, f), label=f"finish:{job}")
+                launch(job, rid, max(now, resource_free[rid]))
+            try_failover()
+
+        def try_failover() -> None:
+            """Re-dispatch killed/stranded jobs just-in-time on survivors."""
+            now = engine.now
+            progress = True
+            while failover_queue and progress:
+                progress = False
+                for job in list(failover_queue):
+                    preds = self.workflow.predecessors(job)
+                    if any(pred not in finished for pred in preds):
+                        continue
+                    survivors = [
+                        rid for rid in self.pool.available_at(now) if rid not in departed
+                    ]
+                    if not survivors:
+                        raise SimulationError(
+                            f"no resources left to fail {job!r} over to at {now}"
+                        )
+                    # earliest-finish placement: inputs re-fetched from the
+                    # producers' actual locations at dispatch time.
+                    best: Optional[Tuple[float, float, str]] = None
+                    for rid in survivors:
+                        ready = max(now, resource_free.get(rid, 0.0),
+                                    self.pool.resource(rid).available_from)
+                        for pred in preds:
+                            src, pred_finish = completed_on[pred]
+                            transfer = self.estimated_costs.communication_cost(
+                                pred, job, src, rid
+                            )
+                            ready = max(ready, max(pred_finish, now) + transfer)
+                        finish = ready + self._duration(job, rid, ready)
+                        if best is None or finish < best[0] - TIME_EPS:
+                            best = (finish, ready, rid)
+                    assert best is not None
+                    _, start, rid = best
+                    for pred in preds:
+                        src, pred_finish = completed_on[pred]
+                        transfer = self.estimated_costs.communication_cost(
+                            pred, job, src, rid
+                        )
+                        if transfer > 0:
+                            trace.record_transfer(
+                                TransferRecord(
+                                    pred, job, src, rid, max(pred_finish, now),
+                                    max(pred_finish, now) + transfer,
+                                )
+                            )
+                    failover_queue.remove(job)
+                    if start <= now + TIME_EPS:
+                        launch(job, rid, start)
+                    else:
+                        # the input re-fetch is still in flight: the target
+                        # stays free for its own scheduled work until the
+                        # data lands, then the job starts (or re-queues if
+                        # the target departed in the meantime)
+                        def arrive(j=job, r=rid):
+                            at = engine.now
+                            if r in departed or not self.pool.resource(r).is_available_at(at):
+                                failover_queue.append(j)
+                                try_failover()
+                                return
+                            launch(j, r, max(at, resource_free.get(r, 0.0)))
+
+                        engine.schedule_at(start, arrive, label=f"failover:{job}")
+                    progress = True
 
         def on_finish(job: str, rid: str, start: float, finish: float) -> None:
             finished.add(job)
+            in_flight.pop(job, None)
+            completed_on[job] = (rid, finish)
             trace.record_job(job, rid, start, finish)
             # ship each output immediately to the successor's scheduled resource
             for succ in self.workflow.successors(job):
                 target = self.schedule.resource_of(succ)
+                until = self.pool.resource(target).available_until
+                if target in departed or (until is not None and finish >= until - TIME_EPS):
+                    # the target already left the grid: no transfer happens;
+                    # the stranded successor re-fetches inputs at failover
+                    continue
                 transfer = self.estimated_costs.communication_cost(job, succ, rid, target)
                 arrival = finish + transfer
                 arrivals[(job, succ)] = arrival
@@ -144,9 +306,61 @@ class StaticScheduleExecutor:
                     engine.schedule_at(arrival, try_dispatch, label=f"arrival:{job}->{succ}")
             try_dispatch()
 
-        # resources joining later unblock dispatch
+        def on_departure(removed: Tuple[str, ...]) -> None:
+            now = engine.now
+            impacted: List[str] = []
+            removed_set = set(removed)
+            departed.update(removed_set)
+            # Kill the running jobs on *any* removed resource — including
+            # failover targets that never appeared in the original schedule.
+            for job, (event, job_rid, start) in list(in_flight.items()):
+                if job_rid not in removed_set:
+                    continue
+                event.cancel()
+                del in_flight[job]
+                started.discard(job)
+                if start < now - TIME_EPS:
+                    # execution actually began: its partial run is wasted
+                    trace.record_kill(job, job_rid, start, now)
+                # a launch whose start still lies in the future (input
+                # transfer under way) is silently re-queued — no work done
+                impacted.append(job)
+                failover_queue.append(job)
+            # Strand the not-yet-started remainder of each scheduled order.
+            for rid in removed_set:
+                order = order_on_resource.get(rid)
+                if order is None:
+                    continue
+                stranded = [
+                    job
+                    for job in order[next_index[rid]:]
+                    if job not in started and job not in finished
+                ]
+                next_index[rid] = len(order)
+                impacted.extend(stranded)
+                failover_queue.extend(stranded)
+            if impacted and self.departure_policy == "fail":
+                raise SimulationError(
+                    f"resources {sorted(set(removed))} departed at {now} with "
+                    f"work assigned (jobs {impacted}); departure_policy='fail'"
+                )
+            if impacted and self.event_bus is not None:
+                self.event_bus.publish(
+                    ResourcePoolChangeEvent(time=now, removed=tuple(removed))
+                )
+            try_dispatch()
+
+        # pool-change events: joins unblock dispatch, departures kill/strand
         for event in self.pool.events():
-            engine.schedule_at(event.time, try_dispatch, label="pool-change")
+            if event.removed:
+                engine.schedule_at(
+                    event.time,
+                    lambda removed=event.removed: on_departure(removed),
+                    priority=_DEPARTURE_PRIORITY,
+                    label="pool-departure",
+                )
+            if event.added:
+                engine.schedule_at(event.time, try_dispatch, label="pool-change")
 
         engine.schedule_at(engine.now, try_dispatch, label="bootstrap")
         engine.run()
@@ -168,6 +382,11 @@ class JustInTimeExecutor:
     newly joined resources — yet, as the paper observes, it still loses
     badly to plan-ahead strategies on data-intensive workflows because
     transfers start late and decisions are local.
+
+    Departures kill running jobs on the departing resource (wasted work)
+    and return them to the ready set; the next dispatch maps them again on
+    the surviving pool.  ``perf_profile`` scales actual durations as in
+    :class:`StaticScheduleExecutor`.
     """
 
     def __init__(
@@ -179,6 +398,8 @@ class JustInTimeExecutor:
         mapper=None,
         actual_costs: Optional[CostModel] = None,
         strategy_name: Optional[str] = None,
+        perf_profile=None,
+        event_bus: Optional[EventBus] = None,
     ) -> None:
         self.workflow = workflow
         self.costs = costs
@@ -186,8 +407,16 @@ class JustInTimeExecutor:
         self.pool = pool
         self.mapper = mapper or MinMinScheduler()
         self.strategy_name = strategy_name or getattr(self.mapper, "name", "dynamic")
+        self.perf_profile = perf_profile
+        self.event_bus = event_bus
 
     # ------------------------------------------------------------------
+    def _duration(self, job: str, rid: str, start: float) -> float:
+        duration = self.actual_costs.computation_cost(job, rid)
+        if self.perf_profile is not None:
+            duration *= self.perf_profile.factor_at(rid, start)
+        return duration
+
     def run(self, *, engine: Optional[SimulationEngine] = None) -> ExecutionTrace:
         engine = engine or SimulationEngine()
         trace = ExecutionTrace(
@@ -198,6 +427,8 @@ class JustInTimeExecutor:
         mapped: Set[str] = set()
         data_location: Dict[str, str] = {}
         resource_free: Dict[str, float] = {}
+        #: running job -> (finish event, resource, start)
+        in_flight: Dict[str, Tuple[ScheduledEvent, str, float]] = {}
 
         def ready_jobs() -> List[str]:
             out = []
@@ -223,10 +454,15 @@ class JustInTimeExecutor:
                 )
                 for rid in resources
             }
+            # the just-in-time mapper sees *current* resource speeds, the
+            # same information the adaptive Planner replans with
+            estimates = self.costs
+            if self.perf_profile is not None:
+                estimates = self.perf_profile.scaled_costs(self.costs, now)
             assignments = self.mapper.map_ready_jobs(
                 batch,
                 self.workflow,
-                self.costs,
+                estimates,
                 resources,
                 clock=now,
                 resource_free=free,
@@ -234,13 +470,12 @@ class JustInTimeExecutor:
             )
             for planned in assignments:
                 mapped.add(planned.job_id)
-                duration = self.actual_costs.computation_cost(
-                    planned.job_id, planned.resource_id
-                )
                 # With accurate estimates the planned start is already
-                # feasible; with perturbed actual costs the resource may
-                # still be busy, so the start is pushed back accordingly.
+                # feasible; with perturbed actual costs (or a slowdown
+                # factor) the resource may still be busy, so the start is
+                # pushed back accordingly.
                 start = max(planned.start, resource_free.get(planned.resource_id, 0.0))
+                duration = self._duration(planned.job_id, planned.resource_id, start)
                 finish = start + duration
                 resource_free[planned.resource_id] = finish
                 # record input transfers initiated at the decision time
@@ -260,17 +495,51 @@ class JustInTimeExecutor:
                                 now + transfer,
                             )
                         )
-                engine.schedule_at(
+                event = engine.schedule_at(
                     finish,
                     lambda a=planned, s=start, f=finish: on_finish(a.job_id, a.resource_id, s, f),
                     label=f"finish:{planned.job_id}",
                 )
+                in_flight[planned.job_id] = (event, planned.resource_id, start)
 
         def on_finish(job: str, rid: str, start: float, finish: float) -> None:
             finished.add(job)
+            in_flight.pop(job, None)
             data_location[job] = rid
             trace.record_job(job, rid, start, finish)
             dispatch()
+
+        def on_departure(removed: Tuple[str, ...]) -> None:
+            now = engine.now
+            removed_set = set(removed)
+            killed: List[str] = []
+            for job, (event, rid, start) in list(in_flight.items()):
+                if rid not in removed_set:
+                    continue
+                event.cancel()
+                del in_flight[job]
+                mapped.discard(job)
+                if start < now - TIME_EPS:
+                    # execution actually began: its partial run is wasted
+                    trace.record_kill(job, rid, start, now)
+                # a mapping whose start still lies in the future (input
+                # transfer under way) is silently re-queued — no work done
+                killed.append(job)
+            if killed and self.event_bus is not None:
+                self.event_bus.publish(
+                    ResourcePoolChangeEvent(time=now, removed=tuple(removed))
+                )
+            if killed:
+                dispatch()
+
+        for event in self.pool.events():
+            if event.removed:
+                engine.schedule_at(
+                    event.time,
+                    lambda removed=event.removed: on_departure(removed),
+                    priority=_DEPARTURE_PRIORITY,
+                    label="pool-departure",
+                )
 
         engine.schedule_at(engine.now, dispatch, label="bootstrap")
         engine.run()

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.scheduling.base import Assignment, Schedule
 
-__all__ = ["TransferRecord", "TraceEvent", "ExecutionTrace", "render_gantt"]
+__all__ = ["TransferRecord", "TraceEvent", "KillRecord", "ExecutionTrace", "render_gantt"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,26 @@ class TraceEvent:
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class KillRecord:
+    """A job killed mid-execution because its resource departed the grid.
+
+    ``killed_at - start`` is the execution time thrown away — the *wasted
+    work* metric of the adversarial-scenario experiments.  The job itself
+    re-runs elsewhere and appears in ``assignments`` with its final,
+    successful execution.
+    """
+
+    job_id: str
+    resource_id: str
+    start: float
+    killed_at: float
+
+    @property
+    def wasted(self) -> float:
+        return self.killed_at - self.start
+
+
 @dataclass
 class ExecutionTrace:
     """Actual execution record of one workflow run."""
@@ -51,6 +71,7 @@ class ExecutionTrace:
     assignments: Dict[str, Assignment] = field(default_factory=dict)
     transfers: List[TransferRecord] = field(default_factory=list)
     events: List[TraceEvent] = field(default_factory=list)
+    kills: List[KillRecord] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # recording
@@ -63,6 +84,18 @@ class ExecutionTrace:
 
     def record_event(self, time: float, kind: str, detail: str = "") -> None:
         self.events.append(TraceEvent(time=time, kind=kind, detail=detail))
+
+    def record_kill(
+        self, job_id: str, resource_id: str, start: float, killed_at: float
+    ) -> None:
+        self.kills.append(KillRecord(job_id, resource_id, start, killed_at))
+        self.events.append(
+            TraceEvent(
+                time=killed_at,
+                kind="job-killed",
+                detail=f"{job_id} on departed {resource_id}",
+            )
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -97,6 +130,10 @@ class ExecutionTrace:
 
     def total_transfer_time(self) -> float:
         return sum(t.duration for t in self.transfers)
+
+    def wasted_work(self) -> float:
+        """Total execution time thrown away by departure kills."""
+        return sum(kill.wasted for kill in self.kills)
 
     def resource_busy_time(self, resource_id: str) -> float:
         return sum(

@@ -132,3 +132,36 @@ class TestRunDynamic:
         dynamic = run_dynamic(case.workflow, case.costs, pool)
         assert adaptive.makespan <= static.makespan + 1e-9
         assert dynamic.makespan > adaptive.makespan
+
+
+class TestSameTimeEvents:
+    def test_same_time_pool_events_are_merged_not_dropped(self, small_random_case):
+        """Two events= entries at one time must both be honoured."""
+        from repro.core.adaptive import AdaptiveReschedulingLoop
+        from repro.resources.pool import PoolEvent, ResourcePool
+        from repro.resources.resource import Resource
+
+        case = small_random_case
+        pool = ResourcePool(
+            [Resource("r1", available_until=100.0)]
+            + [Resource(f"r{i}") for i in range(2, 5)]
+            + [Resource("r9", available_from=100.0)]
+        )
+        loop = AdaptiveReschedulingLoop()
+        result = loop.run(
+            case.workflow,
+            case.costs,
+            pool,
+            events=[
+                PoolEvent(time=100.0, added=("r9",)),
+                PoolEvent(time=100.0, removed=("r1",)),
+            ],
+        )
+        # one merged decision at t=100 that saw both the join and the removal
+        assert len(result.decisions) == 1
+        decision = result.decisions[0]
+        assert "r9" in decision.event and "r1" in decision.event
+        # the removal was honoured: nothing unfinished stays on r1
+        for assignment in result.final_schedule:
+            if assignment.resource_id == "r1":
+                assert assignment.finish <= 100.0 + 1e-9 or assignment.start < 100.0

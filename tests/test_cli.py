@@ -1,0 +1,236 @@
+"""Tests for the ``python -m repro`` CLI (repro.cli).
+
+The ``compare`` exit-code contract is what CI's regression gate relies on:
+0 when ledgers agree within tolerance, 1 on any deviation beyond it, 2 on
+usage/I/O errors.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_DEVIATION, EXIT_ERROR, EXIT_OK, main
+
+
+def write_json(path: Path, payload) -> Path:
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def ledger(tmp_path: Path) -> Path:
+    return write_json(
+        tmp_path / "a.json",
+        {
+            "name": "bench",
+            "makespan": 100.0,
+            "nested": {"jobs_per_sec": 5000.0, "count": 3},
+            "rows": [{"makespan": 10.0}, {"makespan": 20.0}],
+            "lines": ["header", "v=10  makespan=100.0"],
+        },
+    )
+
+
+class TestCompare:
+    def test_identical_ledgers_exit_zero(self, ledger, tmp_path, capsys):
+        twin = write_json(tmp_path / "b.json", json.loads(ledger.read_text()))
+        assert main(["compare", str(ledger), str(twin)]) == EXIT_OK
+        assert "OK" in capsys.readouterr().out
+
+    def test_deviation_beyond_tolerance_exits_one(self, ledger, tmp_path, capsys):
+        payload = json.loads(ledger.read_text())
+        payload["makespan"] = 120.0
+        other = write_json(tmp_path / "b.json", payload)
+        assert main(["compare", str(ledger), str(other)]) == EXIT_DEVIATION
+        out = capsys.readouterr().out
+        assert "DEVIATION" in out and "makespan" in out
+
+    def test_deviation_within_tolerance_passes(self, ledger, tmp_path):
+        payload = json.loads(ledger.read_text())
+        payload["makespan"] = 101.0  # 1% off
+        other = write_json(tmp_path / "b.json", payload)
+        assert main(["compare", str(ledger), str(other)]) == EXIT_DEVIATION
+        assert (
+            main(["compare", str(ledger), str(other), "--tolerance", "0.05"])
+            == EXIT_OK
+        )
+
+    def test_key_tolerance_overrides_default(self, ledger, tmp_path):
+        payload = json.loads(ledger.read_text())
+        payload["nested"]["jobs_per_sec"] = 4000.0  # 20% throughput drop
+        other = write_json(tmp_path / "b.json", payload)
+        assert main(["compare", str(ledger), str(other)]) == EXIT_DEVIATION
+        assert (
+            main(
+                [
+                    "compare",
+                    str(ledger),
+                    str(other),
+                    "--key-tolerance",
+                    "*jobs_per_sec*=0.5",
+                ]
+            )
+            == EXIT_OK
+        )
+
+    def test_ignore_glob_skips_keys(self, ledger, tmp_path):
+        payload = json.loads(ledger.read_text())
+        payload["nested"]["jobs_per_sec"] = 1.0
+        other = write_json(tmp_path / "b.json", payload)
+        assert (
+            main(["compare", str(ledger), str(other), "--ignore", "*jobs_per_sec*"])
+            == EXIT_OK
+        )
+
+    def test_numbers_inside_text_lines_are_compared(self, ledger, tmp_path):
+        payload = json.loads(ledger.read_text())
+        payload["lines"][1] = "v=10  makespan=250.0"
+        other = write_json(tmp_path / "b.json", payload)
+        assert main(["compare", str(ledger), str(other)]) == EXIT_DEVIATION
+
+    def test_missing_key_is_a_deviation_unless_allowed(self, ledger, tmp_path):
+        payload = json.loads(ledger.read_text())
+        del payload["nested"]["count"]
+        other = write_json(tmp_path / "b.json", payload)
+        assert main(["compare", str(ledger), str(other)]) == EXIT_DEVIATION
+        assert (
+            main(["compare", str(ledger), str(other), "--missing-ok"]) == EXIT_OK
+        )
+
+    def test_unreadable_file_exits_two(self, ledger, tmp_path):
+        assert (
+            main(["compare", str(ledger), str(tmp_path / "nope.json")]) == EXIT_ERROR
+        )
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["compare", str(ledger), str(bad)]) == EXIT_ERROR
+
+
+class TestScenariosCommand:
+    def test_lists_required_scenarios(self, capsys):
+        assert main(["scenarios"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for name in ("departures", "degradation", "load_spike", "churn", "paper"):
+            assert name in out
+
+    def test_json_output_has_defaults(self, capsys):
+        assert main(["scenarios", "--json"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["churn"]["defaults"]["interval"] == 400.0
+
+
+class TestSweepCommand:
+    def test_quick_sweep_writes_deterministic_ledger(self, tmp_path, capsys):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        args = [
+            "sweep",
+            "--scenario",
+            "departures",
+            "--scenario",
+            "degradation",
+            "--v",
+            "12",
+            "--resources",
+            "4",
+            "--instances",
+            "1",
+            "--seed",
+            "3",
+        ]
+        assert main(args + ["--out", str(out_a)]) == EXIT_OK
+        assert main(args + ["--out", str(out_b)]) == EXIT_OK
+        ledger = json.loads(out_a.read_text())
+        assert ledger["kind"] == "scenario_sweep"
+        assert [p["scenario"] for p in ledger["scenarios"]] == [
+            "departures",
+            "degradation",
+        ]
+        for point in ledger["scenarios"]:
+            assert set(point["mean_makespans"]) == {"HEFT", "AHEFT", "MinMin"}
+        # bit-identical across runs -> usable as a CI regression baseline
+        assert out_a.read_text() == out_b.read_text()
+        assert main(["compare", str(out_a), str(out_b)]) == EXIT_OK
+
+    def test_scenario_param_overrides(self, tmp_path):
+        out = tmp_path / "s.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario",
+                    "departures",
+                    "--scenario-param",
+                    "interval=150",
+                    "--v",
+                    "10",
+                    "--resources",
+                    "4",
+                    "--instances",
+                    "1",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == EXIT_OK
+        )
+        ledger = json.loads(out.read_text())
+        assert "interval=150" in ledger["scenarios"][0]["description"]
+
+    def test_unknown_scenario_exits_two(self, tmp_path):
+        assert (
+            main(["sweep", "--scenario", "nope", "--out", str(tmp_path / "x.json")])
+            == EXIT_ERROR
+        )
+
+
+class TestRunCommand:
+    def test_list_names_benchmarks(self, capsys):
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        assert main(["run", "--list", "--bench-dir", str(bench_dir)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "kernel_scaling" in out
+
+    def test_unknown_bench_exits_two(self):
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        assert (
+            main(["run", "definitely-missing", "--bench-dir", str(bench_dir)])
+            == EXIT_ERROR
+        )
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        repo_root = Path(__file__).resolve().parent.parent
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "scenarios"],
+            capture_output=True,
+            text=True,
+            cwd=repo_root,
+            env={"PYTHONPATH": str(repo_root / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0
+        assert "churn" in result.stdout
+
+
+class TestExitCodeContract:
+    def test_bad_scenario_param_is_usage_error_not_deviation(self, tmp_path):
+        # load_spike has no `interval` parameter: must exit 2 (usage), not
+        # 1 (reserved for compare deviations)
+        code = main(
+            [
+                "sweep",
+                "--scenario",
+                "load_spike",
+                "--scenario-param",
+                "interval=100",
+                "--out",
+                str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == EXIT_ERROR
