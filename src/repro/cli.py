@@ -1,6 +1,6 @@
 """``python -m repro`` — the reproduction's command-line interface.
 
-Four subcommands make the benchmark matrix scriptable from CI and from a
+Five subcommands make the benchmark matrix scriptable from CI and from a
 shell alike:
 
 * ``repro scenarios`` — list the registered grid-dynamics scenarios;
@@ -9,6 +9,9 @@ shell alike:
   --quick``);
 * ``repro sweep --scenario churn ...`` — run the strategy comparison under
   one or more named scenarios and write a JSON ledger;
+* ``repro multi --tenants 4 --arrival-rate 0.01 --scenario departures`` —
+  run the multi-tenant shared-grid matrix (concurrent workflow streams
+  competing for the same resources) and write a JSON ledger;
 * ``repro compare <ledger-A> <ledger-B>`` — compare two JSON ledgers
   within a tolerance.
 
@@ -114,16 +117,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return EXIT_OK
     script = _resolve_bench(directory, args.bench)
     forwarded = list(args.bench_args)
-    if forwarded and forwarded[0] != "--":
+    if forwarded:
         # argparse.REMAINDER swallows everything after the benchmark name,
         # including repro's own options; insist on the explicit separator
         # so a mistyped `repro run bench --bench-dir X` fails loudly
-        # instead of silently forwarding the flag to the script.
-        raise CliError(
-            "place repro options before the benchmark name; script arguments "
-            f"go after a literal '--' (got {forwarded[0]!r})"
-        )
-    forwarded = forwarded[1:]
+        # instead of silently forwarding the flag to the script.  Recent
+        # argparse versions consume the first `--` themselves, so the check
+        # runs on the raw argv: the forwarded tokens must be exactly what
+        # follows the first literal `--` (older argparse keeps the
+        # separator itself at the front of the REMAINDER).
+        raw = list(getattr(args, "raw_argv", []))
+        sep = raw.index("--") if "--" in raw else -1
+        if sep == -1 or (forwarded != raw[sep + 1 :] and forwarded != raw[sep:]):
+            raise CliError(
+                "place repro options before the benchmark name; script "
+                f"arguments go after a literal '--' (got {forwarded[0]!r})"
+            )
+        if forwarded[0] == "--":  # older argparse kept the separator
+            forwarded = forwarded[1:]
     print(f"running {script} {' '.join(forwarded)}".rstrip())
     old_argv = sys.argv
     old_path = list(sys.path)
@@ -214,6 +225,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "strategies": list(strategies),
         "scenario_params": scenario_params,
         "scenarios": [point.as_dict() for point in points],
+        "lines": table.splitlines(),
+    }
+    out = Path(args.out) if args.out else _bench_dir(None) / "results" / f"{args.name}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(ledger, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    print(f"ledger written to {out}")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# repro multi
+# ----------------------------------------------------------------------
+def _cmd_multi(args: argparse.Namespace) -> int:
+    from repro.core.multi_tenant import POLICIES
+    from repro.experiments.multi_tenant import MultiTenantConfig
+    from repro.experiments.reporting import render_multi_tenant_matrix
+    from repro.experiments.sweep import sweep_multi_workflow
+    from repro.scenarios import make_scenario
+
+    scenario_params = _parse_kv(args.scenario_param, "--scenario-param")
+    scenarios = list(args.scenario) if args.scenario else ["static"]
+    for name in scenarios:
+        try:
+            make_scenario(name, **scenario_params)
+        except TypeError as error:
+            raise CliError(f"scenario {name!r} rejected parameters: {error}") from None
+
+    v = args.v if args.v is not None else (16 if args.quick else 24)
+    resources = args.resources if args.resources is not None else (8 if args.quick else 10)
+    max_arrivals = args.max_arrivals if args.max_arrivals is not None else (
+        3 if args.quick else 6
+    )
+    if args.tenants <= 0:
+        raise CliError("--tenants must be positive")
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown_policies = [p for p in policies if p not in POLICIES]
+    if not policies or unknown_policies:
+        raise CliError(
+            f"unknown policies {unknown_policies or args.policies!r}; "
+            f"choose from {', '.join(POLICIES)}"
+        )
+    base = MultiTenantConfig(
+        resources=resources,
+        scenario_params=tuple(sorted(scenario_params.items())),
+        v=v,
+        parallelism=args.parallelism,
+        ccr=args.ccr,
+        beta=args.beta,
+        max_arrivals=max_arrivals,
+        horizon=args.horizon,
+        seed=args.seed,
+    )
+    points = sweep_multi_workflow(
+        arrival_rates=[args.arrival_rate],
+        tenant_counts=[args.tenants],
+        scenarios=scenarios,
+        policies=policies,
+        base_config=base,
+        seed=args.seed,
+    )
+    table = render_multi_tenant_matrix(
+        points, title=f"Multi-tenant shared grid ({args.name})"
+    )
+    print(table)
+
+    ledger = {
+        "name": args.name,
+        "kind": "multi_workflow_sweep",
+        "base_config": base.as_params(),
+        "seed": args.seed,
+        "tenants": args.tenants,
+        "arrival_rate": args.arrival_rate,
+        "policies": policies,
+        "scenario_params": scenario_params,
+        "points": [point.as_dict() for point in points],
         "lines": table.splitlines(),
     }
     out = Path(args.out) if args.out else _bench_dir(None) / "results" / f"{args.name}.json"
@@ -345,6 +434,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
+def _scenario_help() -> str:
+    """Enumerate the registered scenarios so help text can never drift.
+
+    New scenarios register themselves in :mod:`repro.scenarios.library`;
+    building the string dynamically keeps ``--help`` (and the CLI contract
+    tests asserting on it) in sync with the registry automatically.
+    """
+    from repro.scenarios import available_scenarios
+
+    return (
+        "scenario name (repeatable); registered: "
+        + ", ".join(available_scenarios())
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -374,7 +478,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scenario",
         action="append",
         required=True,
-        help="scenario name (repeatable); see `repro scenarios`",
+        help=_scenario_help(),
     )
     p_sweep.add_argument(
         "--scenario-param",
@@ -400,6 +504,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="CI smoke defaults (v=30, R=8, 1 instance)"
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_multi = sub.add_parser(
+        "multi",
+        help="run concurrent tenant workflow streams on one shared grid",
+    )
+    p_multi.add_argument("--tenants", type=int, default=4, help="number of tenants")
+    p_multi.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=0.005,
+        help="Poisson arrival rate per tenant (workflows per time unit)",
+    )
+    p_multi.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        help=_scenario_help() + " (default: static)",
+    )
+    p_multi.add_argument(
+        "--scenario-param",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="override a scenario parameter (applies to every --scenario)",
+    )
+    p_multi.add_argument(
+        "--policies",
+        default="fifo",
+        help="comma-separated interleave policies (fifo, fair_share, rank_priority)",
+    )
+    p_multi.add_argument("--name", default="multi_tenant", help="ledger name")
+    p_multi.add_argument("--out", help="ledger path (default benchmarks/results/<name>.json)")
+    p_multi.add_argument("--v", type=int, default=None, help="jobs per random DAG")
+    p_multi.add_argument("--resources", type=int, default=None, help="initial pool size R")
+    p_multi.add_argument("--parallelism", type=int, default=12, help="application width")
+    p_multi.add_argument("--ccr", type=float, default=1.0)
+    p_multi.add_argument("--beta", type=float, default=0.5)
+    p_multi.add_argument(
+        "--max-arrivals", type=int, default=None, help="arrival cap per tenant"
+    )
+    p_multi.add_argument("--horizon", type=float, default=8000.0)
+    p_multi.add_argument("--seed", type=int, default=0)
+    p_multi.add_argument(
+        "--quick", action="store_true", help="CI smoke defaults (v=16, R=8, 3 arrivals)"
+    )
+    p_multi.set_defaults(func=_cmd_multi)
 
     p_cmp = sub.add_parser(
         "compare",
@@ -444,8 +594,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    raw = list(sys.argv[1:] if argv is None else argv)
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
+    args.raw_argv = raw
     from repro.scenarios import ScenarioError
 
     try:

@@ -29,10 +29,12 @@ from repro.core.adaptive import (
     AdaptiveReschedulingLoop,
     AdaptiveRunResult,
     ReschedulingDecision,
+    apply_departure_kills,
     run_adaptive,
     run_static,
     run_dynamic,
 )
+from repro.core.multi_tenant import POLICIES, ActiveWorkflow, MultiTenantPlanner
 from repro.core.whatif import WhatIfAnalyzer, WhatIfResult
 
 __all__ = [
@@ -51,9 +53,13 @@ __all__ = [
     "AdaptiveReschedulingLoop",
     "AdaptiveRunResult",
     "ReschedulingDecision",
+    "apply_departure_kills",
     "run_adaptive",
     "run_static",
     "run_dynamic",
+    "POLICIES",
+    "ActiveWorkflow",
+    "MultiTenantPlanner",
     "WhatIfAnalyzer",
     "WhatIfResult",
 ]

@@ -46,11 +46,58 @@ __all__ = [
     "ReschedulingDecision",
     "AdaptiveRunResult",
     "AdaptiveReschedulingLoop",
+    "apply_departure_kills",
+    "describe_pool_event",
     "repair_schedule",
     "run_static",
     "run_adaptive",
     "run_dynamic",
 ]
+
+
+def apply_departure_kills(
+    workflow: Workflow,
+    schedule: Schedule,
+    state: ExecutionState,
+    removed: frozenset,
+) -> tuple:
+    """Apply a departure event to an execution-state snapshot.
+
+    Jobs *running* on a removed resource at ``state.clock`` are killed:
+    their partial execution is counted as wasted work and their status is
+    reset to not-started (mutating ``state`` in place) so the next
+    rescheduling pass re-maps them.  Unfinished work mapped to a removed
+    resource — killed or merely planned there — makes the current plan
+    infeasible, which forces the caller to adopt the replacement candidate
+    regardless of the accept-if-better rule.
+
+    Returns ``(wasted, killed_jobs, forced)``: the execution time thrown
+    away, the set of killed job ids, and the infeasibility flag.  Shared by
+    the single-workflow :class:`AdaptiveReschedulingLoop` and the
+    multi-tenant planner so both apply identical departure semantics.
+    """
+    wasted = 0.0
+    killed: set = set()
+    forced = False
+    if not removed:
+        return wasted, killed, forced
+    clock = state.clock
+    for job in workflow.jobs:
+        status = state.job_status(job)
+        if status is JobStatus.FINISHED:
+            continue
+        if status is JobStatus.RUNNING and state.executed_on.get(job) in removed:
+            wasted += clock - state.actual_start[job]
+            killed.add(job)
+            state.status[job] = JobStatus.NOT_STARTED
+            state.actual_start.pop(job, None)
+            state.executed_on.pop(job, None)
+            forced = True
+        elif status is JobStatus.NOT_STARTED:
+            assignment = schedule.get(job)
+            if assignment is not None and assignment.resource_id in removed:
+                forced = True
+    return wasted, killed, forced
 
 
 @dataclass(frozen=True)
@@ -217,27 +264,12 @@ class AdaptiveReschedulingLoop:
                 continue
             state = ExecutionState.from_schedule(current, clock, jobs=workflow.jobs)
 
-            forced = False
             removed_set = frozenset(event.removed) if event is not None else frozenset()
-            if removed_set:
-                for job in workflow.jobs:
-                    status = state.job_status(job)
-                    if status is JobStatus.FINISHED:
-                        continue
-                    if (
-                        status is JobStatus.RUNNING
-                        and state.executed_on.get(job) in removed_set
-                    ):
-                        wasted += clock - state.actual_start[job]
-                        killed_jobs.add(job)
-                        state.status[job] = JobStatus.NOT_STARTED
-                        state.actual_start.pop(job, None)
-                        state.executed_on.pop(job, None)
-                        forced = True
-                    elif status is JobStatus.NOT_STARTED:
-                        assignment = current.get(job)
-                        if assignment is not None and assignment.resource_id in removed_set:
-                            forced = True
+            wasted_delta, killed, forced = apply_departure_kills(
+                workflow, current, state, removed_set
+            )
+            wasted += wasted_delta
+            killed_jobs |= killed
 
             effective_costs = costs
             if perf_profile is not None:
@@ -268,7 +300,7 @@ class AdaptiveReschedulingLoop:
             decisions.append(
                 ReschedulingDecision(
                     time=clock,
-                    event=_describe_event(event) if event is not None else "perf-change",
+                    event=describe_pool_event(event) if event is not None else "perf-change",
                     previous_makespan=current.makespan(),
                     candidate_makespan=candidate.makespan(),
                     adopted=adopt,
@@ -377,7 +409,8 @@ def repair_schedule(
     return repaired
 
 
-def _describe_event(event: PoolEvent) -> str:
+def describe_pool_event(event: PoolEvent) -> str:
+    """Human-readable ``+joined -left`` rendering of a pool event."""
     parts = []
     if event.added:
         parts.append(f"+{','.join(event.added)}")

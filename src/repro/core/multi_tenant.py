@@ -1,0 +1,330 @@
+"""Per-tenant adaptive planning against shared residual capacity.
+
+The paper's Planner manages one workflow on a dedicated (if changing) grid.
+:class:`MultiTenantPlanner` generalises that loop to many concurrent
+workflows from many tenants, all booking slots on the *same* resources:
+
+* every workflow keeps its own AHEFT scheduler and its own adaptive plan,
+  exactly as in :class:`~repro.core.adaptive.AdaptiveReschedulingLoop`
+  (same departure-kill semantics via
+  :func:`~repro.core.adaptive.apply_departure_kills`, same perf-change
+  repair via :func:`~repro.core.adaptive.repair_schedule`, same
+  accept-if-better rule);
+* each planning pass sees every *other* workflow's current bookings as
+  busy blocks (the ``busy`` parameter of
+  :func:`~repro.scheduling.aheft.aheft_reschedule`), so plans are pairwise
+  non-overlapping by construction: a workflow always plans around the
+  residual capacity left by the rest;
+* a **policy** decides the order in which workflows replan when a grid
+  event makes everyone move — and therefore who gets first pick of the
+  residual gaps:
+
+  ``fifo``
+      submission order (earliest arrival first);
+  ``fair_share``
+      ascending consumed-processor-time per tenant weight — the tenant
+      that has received the least service (relative to its entitlement)
+      books first;
+  ``rank_priority``
+      descending remaining predicted span — the workflow with the longest
+      remaining critical path books first (an SRPT-inverse interleave that
+      protects large workflows from starvation by small ones).
+
+With a single tenant and a single workflow arriving at time 0, every
+policy degenerates to the paper's single-workflow loop and the planner is
+bit-identical to :func:`~repro.core.adaptive.run_adaptive` — the
+differential test suite (``tests/test_differential.py``) enforces this.
+
+Known approximation: after a performance change, each plan is repaired
+independently (:func:`repair_schedule` does not see other tenants), so
+repaired plans can transiently contend for the same slot until the next
+replanning pass re-books them around each other.  Busy blocks are merged
+tolerantly for exactly this reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.adaptive import (
+    ReschedulingDecision,
+    apply_departure_kills,
+    describe_pool_event,
+    repair_schedule,
+)
+from repro.resources.pool import PoolEvent, ResourcePool
+from repro.scheduling.aheft import AHEFTScheduler
+from repro.scheduling.base import ExecutionState, Schedule, TIME_EPS
+from repro.workload.streams import WorkflowArrival
+
+__all__ = ["POLICIES", "ActiveWorkflow", "MultiTenantPlanner"]
+
+#: replanning-order policies of the shared grid
+POLICIES = ("fifo", "fair_share", "rank_priority")
+
+
+@dataclass
+class ActiveWorkflow:
+    """One workflow's live state inside the multi-tenant planner."""
+
+    key: str
+    tenant: str
+    seq: int
+    arrival_time: float
+    kind: str
+    workflow: object
+    costs: object
+    scheduler: AHEFTScheduler
+    schedule: Schedule
+    #: predicted span had the workflow run alone on the pool it arrived to
+    dedicated_span: float
+    decisions: List[ReschedulingDecision] = field(default_factory=list)
+    wasted_work: float = 0.0
+    killed_jobs: Set[str] = field(default_factory=set)
+    completed_at: Optional[float] = None
+
+    def finished_by(self, clock: float) -> bool:
+        return clock >= self.schedule.makespan() - TIME_EPS
+
+    def remaining_span(self, clock: float) -> float:
+        return max(0.0, self.schedule.makespan() - clock)
+
+    def consumed_time(self, clock: float) -> float:
+        """Processor time this workflow has consumed by ``clock``."""
+        return sum(
+            max(0.0, min(a.finish, clock) - a.start) for a in self.schedule
+        )
+
+
+class MultiTenantPlanner:
+    """AHEFT rescheduling of many workflows over one shared resource pool.
+
+    Parameters
+    ----------
+    pool:
+        The shared :class:`~repro.resources.pool.ResourcePool` (typically a
+        materialised scenario's pool).
+    perf_profile:
+        Optional scenario :class:`~repro.scenarios.base.PerformanceProfile`
+        applied to every tenant's cost model.
+    policy:
+        One of :data:`POLICIES`; see the module docstring.
+    tenant_weights:
+        Fair-share weights per tenant (default 1.0 each).
+    scheduler_factory:
+        Called once per admitted workflow; must produce an object with the
+        ``reschedule`` interface of :class:`AHEFTScheduler`.
+    accept_only_if_better, epsilon:
+        The accept rule of paper Fig. 2 line 7, identical to
+        :class:`~repro.core.adaptive.AdaptiveReschedulingLoop`.
+    """
+
+    def __init__(
+        self,
+        pool: ResourcePool,
+        *,
+        perf_profile=None,
+        policy: str = "fifo",
+        tenant_weights: Optional[Dict[str, float]] = None,
+        scheduler_factory: Callable[[], AHEFTScheduler] = AHEFTScheduler,
+        accept_only_if_better: bool = True,
+        epsilon: float = 1e-9,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        self.pool = pool
+        self.perf_profile = perf_profile
+        self.policy = policy
+        self.tenant_weights = dict(tenant_weights or {})
+        self.scheduler_factory = scheduler_factory
+        self.accept_only_if_better = accept_only_if_better
+        self.epsilon = float(epsilon)
+        self._active: Dict[str, ActiveWorkflow] = {}
+        self._perf_times: Set[float] = (
+            set(perf_profile.change_times()) if perf_profile is not None else set()
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def workflows(self) -> List[ActiveWorkflow]:
+        """Every admitted workflow, in admission order."""
+        return list(self._active.values())
+
+    def busy_view(
+        self, exclude_key: Optional[str], clock: float
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Every *other* workflow's bookings — the shared-timeline residual.
+
+        Bookings that end at or before ``clock`` cannot constrain placement
+        (the schedulers place new work at or after ``clock``) and are
+        pruned here to keep the view small over long arrival streams.
+        """
+        busy: Dict[str, List[Tuple[float, float]]] = {}
+        for key, wf in self._active.items():
+            if key == exclude_key:
+                continue
+            if wf.schedule.makespan() <= clock:
+                continue
+            for assignment in wf.schedule:
+                if assignment.finish <= clock:
+                    continue
+                busy.setdefault(assignment.resource_id, []).append(
+                    (assignment.start, assignment.finish)
+                )
+        return busy
+
+    def _weight(self, tenant: str) -> float:
+        return float(self.tenant_weights.get(tenant, 1.0))
+
+    def _served_by_tenant(self, clock: float) -> Dict[str, float]:
+        served: Dict[str, float] = {}
+        for wf in self._active.values():
+            served[wf.tenant] = served.get(wf.tenant, 0.0) + wf.consumed_time(clock)
+        return served
+
+    def replan_order(
+        self, candidates: Sequence[ActiveWorkflow], clock: float
+    ) -> List[ActiveWorkflow]:
+        """Order in which ``candidates`` replan at ``clock`` (policy-driven)."""
+        if self.policy == "fifo":
+            return sorted(candidates, key=lambda wf: wf.seq)
+        if self.policy == "fair_share":
+            served = self._served_by_tenant(clock)
+            return sorted(
+                candidates,
+                key=lambda wf: (
+                    served.get(wf.tenant, 0.0) / self._weight(wf.tenant),
+                    wf.seq,
+                ),
+            )
+        return sorted(candidates, key=lambda wf: (-wf.remaining_span(clock), wf.seq))
+
+    # ------------------------------------------------------------------
+    # arrival
+    # ------------------------------------------------------------------
+    def admit(self, arrival: WorkflowArrival, clock: float) -> ActiveWorkflow:
+        """Plan a newly arrived workflow against the residual capacity."""
+        if arrival.key in self._active:
+            raise ValueError(f"workflow {arrival.key!r} was already admitted")
+        resources = self.pool.available_at(clock)
+        if not resources:
+            raise ValueError(f"no resources available at arrival time {clock}")
+        workflow = arrival.case.workflow
+        costs = arrival.case.costs
+        effective = costs
+        if self.perf_profile is not None:
+            effective = self.perf_profile.scaled_costs(costs, clock)
+        scheduler = self.scheduler_factory()
+        busy = self.busy_view(None, clock)
+        has_busy = any(busy.values())
+        plan = scheduler.reschedule(
+            workflow,
+            effective,
+            resources,
+            clock=clock,
+            previous_schedule=None,
+            busy=busy if has_busy else None,
+        )
+        if has_busy:
+            dedicated = scheduler.reschedule(
+                workflow, effective, resources, clock=clock, previous_schedule=None
+            )
+            dedicated_span = dedicated.makespan() - clock
+        else:
+            dedicated_span = plan.makespan() - clock
+        active = ActiveWorkflow(
+            key=arrival.key,
+            tenant=arrival.tenant,
+            seq=arrival.seq,
+            arrival_time=clock,
+            kind=arrival.kind,
+            workflow=workflow,
+            costs=costs,
+            scheduler=scheduler,
+            schedule=plan,
+            dedicated_span=dedicated_span,
+        )
+        self._active[arrival.key] = active
+        return active
+
+    # ------------------------------------------------------------------
+    # grid events
+    # ------------------------------------------------------------------
+    def handle_event(self, clock: float, event: Optional[PoolEvent]) -> None:
+        """Replan every unfinished workflow at a pool/performance event.
+
+        Per workflow this is exactly one iteration of the single-workflow
+        adaptive loop — kills, forced adoptions, perf repair, candidate,
+        accept rule — except that the candidate is planned around the other
+        workflows' current bookings, and the policy decides who goes first
+        (earlier workflows book residual gaps that later ones then avoid).
+        """
+        resources = self.pool.available_at(clock)
+        if not resources:
+            return
+        removed = frozenset(event.removed) if event is not None else frozenset()
+        unfinished = [
+            wf for wf in self._active.values() if wf.completed_at is None
+        ]
+        for wf in self.replan_order(unfinished, clock):
+            if wf.finished_by(clock):
+                wf.completed_at = wf.schedule.makespan()
+                continue
+            state = ExecutionState.from_schedule(
+                wf.schedule, clock, jobs=wf.workflow.jobs
+            )
+            wasted, killed, forced = apply_departure_kills(
+                wf.workflow, wf.schedule, state, removed
+            )
+            wf.wasted_work += wasted
+            wf.killed_jobs |= killed
+            effective = wf.costs
+            if self.perf_profile is not None:
+                effective = self.perf_profile.scaled_costs(wf.costs, clock)
+                if clock in self._perf_times:
+                    wf.schedule = repair_schedule(
+                        wf.workflow,
+                        wf.schedule,
+                        state,
+                        effective,
+                        clock=clock,
+                        resources=resources,
+                    )
+            candidate = wf.scheduler.reschedule(
+                wf.workflow,
+                effective,
+                resources,
+                clock=clock,
+                previous_schedule=wf.schedule,
+                execution_state=state,
+                busy=self.busy_view(wf.key, clock),
+            )
+            adopt = (
+                forced
+                or not self.accept_only_if_better
+                or candidate.makespan() < wf.schedule.makespan() - self.epsilon
+            )
+            wf.decisions.append(
+                ReschedulingDecision(
+                    time=clock,
+                    event=describe_pool_event(event)
+                    if event is not None
+                    else "perf-change",
+                    previous_makespan=wf.schedule.makespan(),
+                    candidate_makespan=candidate.makespan(),
+                    adopted=adopt,
+                    forced=forced,
+                )
+            )
+            if adopt:
+                wf.schedule = candidate
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> List[ActiveWorkflow]:
+        """Mark every remaining workflow completed at its predicted finish."""
+        for wf in self._active.values():
+            if wf.completed_at is None:
+                wf.completed_at = wf.schedule.makespan()
+        return self.workflows()

@@ -18,21 +18,31 @@ from repro.experiments.config import (
 )
 from repro.experiments.runner import CaseResult, ExperimentCase, run_case, STRATEGY_RUNNERS
 from repro.experiments.sweep import (
+    MultiWorkflowPoint,
     ScenarioPoint,
     SweepPoint,
     aggregate_results,
     improvement_rate_by,
     run_cases,
     sweep_application_parameter,
+    sweep_multi_workflow,
     sweep_random_parameter,
     sweep_scenarios,
 )
 from repro.experiments.metrics import (
     improvement_rate,
+    jain_fairness_index,
     makespan_statistics,
+    percentile,
     schedule_length_ratio,
     speedup,
     average,
+)
+from repro.experiments.multi_tenant import (
+    MultiTenantCaseResult,
+    MultiTenantConfig,
+    TenantMetrics,
+    run_multi_tenant_case,
 )
 from repro.experiments.reporting import (
     format_table,
@@ -40,6 +50,7 @@ from repro.experiments.reporting import (
     render_series,
     render_case_results,
     render_scenario_matrix,
+    render_multi_tenant_matrix,
 )
 
 __all__ = [
@@ -51,22 +62,31 @@ __all__ = [
     "ExperimentCase",
     "run_case",
     "STRATEGY_RUNNERS",
+    "MultiWorkflowPoint",
     "ScenarioPoint",
     "SweepPoint",
     "aggregate_results",
     "improvement_rate_by",
     "run_cases",
     "sweep_application_parameter",
+    "sweep_multi_workflow",
     "sweep_random_parameter",
     "sweep_scenarios",
     "improvement_rate",
+    "jain_fairness_index",
     "makespan_statistics",
+    "percentile",
     "schedule_length_ratio",
     "speedup",
     "average",
+    "MultiTenantCaseResult",
+    "MultiTenantConfig",
+    "TenantMetrics",
+    "run_multi_tenant_case",
     "format_table",
     "render_improvement_table",
     "render_series",
     "render_case_results",
     "render_scenario_matrix",
+    "render_multi_tenant_matrix",
 ]

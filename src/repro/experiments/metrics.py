@@ -20,7 +20,9 @@ from repro.workflow.dag import Workflow
 
 __all__ = [
     "average",
+    "percentile",
     "improvement_rate",
+    "jain_fairness_index",
     "makespan_statistics",
     "schedule_length_ratio",
     "speedup",
@@ -35,6 +37,39 @@ def average(values: Iterable[float]) -> float:
     if not values:
         return 0.0
     return float(np.mean(values))
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation; 0.0 when empty).
+
+    Used for the tail metrics of the multi-tenant experiments (e.g. the
+    95th-percentile flow time).
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100]")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def jain_fairness_index(values: Iterable[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n · Σx²)``.
+
+    1.0 when every tenant receives identical service, approaching ``1/n``
+    when one tenant monopolises the grid.  Defined as 1.0 for empty input
+    or all-zero allocations (nothing was distributed unfairly).
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return 1.0
+    if any(v < 0 for v in values):
+        raise ValueError("fairness index is defined for non-negative values")
+    square_sum = sum(v * v for v in values)
+    if square_sum == 0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
 
 
 def improvement_rate(baseline: float, improved: float) -> float:

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments.runner import CaseResult
-from repro.experiments.sweep import ScenarioPoint, SweepPoint
+from repro.experiments.sweep import MultiWorkflowPoint, ScenarioPoint, SweepPoint
 
 __all__ = [
     "format_table",
@@ -18,6 +18,7 @@ __all__ = [
     "render_series",
     "render_case_results",
     "render_scenario_matrix",
+    "render_multi_tenant_matrix",
 ]
 
 
@@ -136,6 +137,50 @@ def render_scenario_matrix(
             row.append(f"{point.mean_reschedules.get('AHEFT', 0.0):.1f}")
         row.append(max(point.mean_wasted_work.values(), default=0.0))
         rows.append(row)
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def render_multi_tenant_matrix(
+    points: Sequence[MultiWorkflowPoint],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """One row per multi-tenant cell: flow/stretch/throughput/fairness."""
+    if not points:
+        return "(no data)"
+    headers = [
+        "scenario",
+        "policy",
+        "tenants",
+        "rate",
+        "wfs",
+        "mean flow",
+        "p95 flow",
+        "stretch",
+        "thru/1k",
+        "fairness",
+        "wasted",
+    ]
+    rows: List[List[object]] = []
+    for point in points:
+        rows.append(
+            [
+                point.scenario,
+                point.policy,
+                point.tenants,
+                f"{point.arrival_rate:g}",
+                point.workflows,
+                point.mean_flow_time,
+                point.p95_flow_time,
+                f"{point.mean_stretch:.2f}",
+                f"{point.throughput:.3f}",
+                f"{point.fairness:.3f}",
+                point.wasted_work,
+            ]
+        )
     table = format_table(headers, rows)
     if title:
         return f"{title}\n{table}"

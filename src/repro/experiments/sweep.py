@@ -23,13 +23,54 @@ from repro.experiments.runner import CaseResult, ExperimentCase, run_case_batch
 __all__ = [
     "SweepPoint",
     "ScenarioPoint",
+    "MultiWorkflowPoint",
     "run_cases",
     "aggregate_results",
     "improvement_rate_by",
     "sweep_random_parameter",
     "sweep_application_parameter",
     "sweep_scenarios",
+    "sweep_multi_workflow",
 ]
+
+
+@dataclass
+class MultiWorkflowPoint:
+    """One cell of the multi-tenant matrix: (scenario, tenants, rate, policy)."""
+
+    scenario: str
+    tenants: int
+    arrival_rate: float
+    policy: str
+    workflows: int
+    run_makespan: float
+    mean_flow_time: float
+    p95_flow_time: float
+    mean_stretch: float
+    throughput: float
+    fairness: float
+    wasted_work: float
+    killed_jobs: int
+    per_tenant: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for the benchmark ledgers."""
+        return {
+            "scenario": self.scenario,
+            "tenants": self.tenants,
+            "arrival_rate": self.arrival_rate,
+            "policy": self.policy,
+            "workflows": self.workflows,
+            "run_makespan": self.run_makespan,
+            "mean_flow_time": self.mean_flow_time,
+            "p95_flow_time": self.p95_flow_time,
+            "mean_stretch": self.mean_stretch,
+            "throughput": self.throughput,
+            "fairness": self.fairness,
+            "wasted_work": self.wasted_work,
+            "killed_jobs": self.killed_jobs,
+            "per_tenant": self.per_tenant,
+        }
 
 
 @dataclass
@@ -267,6 +308,72 @@ def sweep_scenarios(
                 results=results,
             )
         )
+    return points
+
+
+def sweep_multi_workflow(
+    *,
+    arrival_rates: Sequence[float] = (0.005,),
+    tenant_counts: Sequence[int] = (4,),
+    scenarios: Sequence[str] = ("static",),
+    policies: Sequence[str] = ("fifo",),
+    base_config=None,
+    seed: Optional[int] = None,
+) -> List["MultiWorkflowPoint"]:
+    """The multi-tenant matrix: arrival rate × tenant count × scenario × policy.
+
+    Every cell runs one deterministic multi-tenant case (see
+    :func:`~repro.experiments.multi_tenant.run_multi_tenant_case`) derived
+    from ``base_config`` with the cell's parameters substituted.  The same
+    seed is used across cells, so a tenant's arrival stream is identical in
+    every scenario/policy cell with the same tenant count — differences
+    between rows are caused by the dynamics and the policy, not by workload
+    sampling noise.
+    """
+    from repro.experiments.multi_tenant import (
+        MultiTenantConfig,
+        run_multi_tenant_case,
+    )
+
+    base = base_config or MultiTenantConfig()
+    if seed is not None:
+        base = replace(base, seed=seed)
+    points: List[MultiWorkflowPoint] = []
+    for scenario in scenarios:
+        for tenants in tenant_counts:
+            for rate in arrival_rates:
+                for policy in policies:
+                    config = replace(
+                        base,
+                        scenario=scenario,
+                        tenants=int(tenants),
+                        arrival_rate=float(rate),
+                        policy=policy,
+                    )
+                    outcome = run_multi_tenant_case(config)
+                    points.append(
+                        MultiWorkflowPoint(
+                            scenario=scenario,
+                            tenants=int(tenants),
+                            arrival_rate=float(rate),
+                            policy=policy,
+                            workflows=outcome.workflows,
+                            run_makespan=outcome.run_makespan,
+                            mean_flow_time=outcome.mean_flow_time,
+                            p95_flow_time=outcome.p95_flow_time,
+                            mean_stretch=outcome.mean_stretch,
+                            throughput=outcome.throughput,
+                            fairness=outcome.fairness,
+                            wasted_work=outcome.wasted_work,
+                            killed_jobs=outcome.killed_jobs,
+                            per_tenant={
+                                tenant: metrics.as_dict()
+                                for tenant, metrics in sorted(
+                                    outcome.per_tenant.items()
+                                )
+                            },
+                        )
+                    )
     return points
 
 

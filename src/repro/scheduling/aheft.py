@@ -61,7 +61,11 @@ from repro.scheduling.base import (
     Schedule,
     TIME_EPS,
 )
-from repro.scheduling.heft import heft_priority_order
+from repro.scheduling.heft import (
+    BusyIntervals,
+    heft_priority_order,
+    occupy_busy_intervals,
+)
 from repro.workflow.costs import CostModel
 from repro.workflow.dag import Workflow
 
@@ -114,6 +118,7 @@ def aheft_reschedule(
     insertion: bool = True,
     respect_running: bool = True,
     resource_available_from: Optional[Mapping[str, float]] = None,
+    busy: Optional[BusyIntervals] = None,
     name: str = "aheft",
 ) -> Schedule:
     """(Re)schedule a workflow at time ``clock`` with AHEFT.
@@ -142,6 +147,12 @@ def aheft_reschedule(
     resource_available_from:
         Optional per-resource earliest usable time; defaults to ``clock``
         for every resource.
+    busy:
+        Optional foreign occupied spans per resource — the residual-capacity
+        view of a shared grid where other workflows (other tenants) already
+        booked slots on the same timelines.  Placement plans around them;
+        they never appear in the returned schedule.  ``None`` (default) is
+        the dedicated-grid behaviour, bit-identical to the seed kernel.
 
     Returns
     -------
@@ -201,10 +212,23 @@ def aheft_reschedule(
     for rid in resources:
         start = max(clock, float(availability.get(rid, clock)))
         timelines[rid] = ResourceTimeline(rid, available_from=start)
-    for assignment in pinned.values():
-        timeline = timelines.get(assignment.resource_id)
-        if timeline is not None and assignment.finish > timeline.available_from:
-            timeline.occupy(assignment.start, assignment.finish, assignment.job_id)
+    if busy is None:
+        for assignment in pinned.values():
+            timeline = timelines.get(assignment.resource_id)
+            if timeline is not None and assignment.finish > timeline.available_from:
+                timeline.occupy(assignment.start, assignment.finish, assignment.job_id)
+    else:
+        # Shared grid: pinned work and foreign bookings go through the same
+        # merge-tolerant booking path, because independently repaired plans
+        # can transiently overlap after a performance change.
+        combined: Dict[str, List[tuple]] = {
+            rid: list(spans) for rid, spans in busy.items()
+        }
+        for assignment in pinned.values():
+            combined.setdefault(assignment.resource_id, []).append(
+                (assignment.start, assignment.finish)
+            )
+        occupy_busy_intervals(timelines, combined)
 
     schedule = Schedule(name=name)
     schedule.extend(pinned.values())
@@ -409,6 +433,7 @@ class AHEFTScheduler:
         resources: Sequence[str],
         *,
         resource_available_from: Optional[Mapping[str, float]] = None,
+        busy: Optional[BusyIntervals] = None,
     ) -> Schedule:
         return aheft_reschedule(
             workflow,
@@ -420,6 +445,7 @@ class AHEFTScheduler:
             insertion=self.insertion,
             respect_running=self.respect_running,
             resource_available_from=resource_available_from,
+            busy=busy,
             name=self.name,
         )
 
@@ -430,9 +456,10 @@ class AHEFTScheduler:
         resources: Sequence[str],
         *,
         clock: float,
-        previous_schedule: Schedule,
+        previous_schedule: Optional[Schedule],
         execution_state: Optional[ExecutionState] = None,
         resource_available_from: Optional[Mapping[str, float]] = None,
+        busy: Optional[BusyIntervals] = None,
     ) -> Schedule:
         return aheft_reschedule(
             workflow,
@@ -444,5 +471,6 @@ class AHEFTScheduler:
             insertion=self.insertion,
             respect_running=self.respect_running,
             resource_available_from=resource_available_from,
+            busy=busy,
             name=self.name,
         )

@@ -41,9 +41,49 @@ from repro.workflow.analysis import upward_ranks
 from repro.workflow.costs import CostModel
 from repro.workflow.dag import Workflow
 
-__all__ = ["heft_schedule", "heft_priority_order", "HEFTScheduler"]
+__all__ = ["heft_schedule", "heft_priority_order", "occupy_busy_intervals", "HEFTScheduler"]
 
 _NEG_INF = float("-inf")
+
+#: type of the ``busy`` parameter: foreign (other-workflow) occupied spans
+#: per resource, ``{resource_id: [(start, finish), ...]}``
+BusyIntervals = Mapping[str, Sequence[tuple]]
+
+
+def occupy_busy_intervals(
+    timelines: Mapping[str, ResourceTimeline], busy: Optional[BusyIntervals]
+) -> None:
+    """Book foreign ``(start, finish)`` spans before placement.
+
+    This is the shared-grid seam: when several workflows book slots on the
+    same resources, each planning pass sees every *other* workflow's current
+    bookings as opaque busy blocks.  Spans may overlap each other (plans
+    repaired independently after a performance change can transiently
+    contend), so they are merged per resource before occupying; spans that
+    end at or before a timeline's ``available_from`` (or have no extent)
+    cannot constrain placement and are skipped.  Resources absent from
+    ``timelines`` are ignored — a departed resource's stale bookings are
+    irrelevant to the surviving pool.
+    """
+    if not busy:
+        return
+    for rid, spans in busy.items():
+        timeline = timelines.get(rid)
+        if timeline is None:
+            continue
+        relevant = sorted(
+            (float(span[0]), float(span[1]))
+            for span in spans
+            if span[1] > timeline.available_from and span[1] - span[0] > TIME_EPS
+        )
+        merged: List[List[float]] = []
+        for start, finish in relevant:
+            if merged and start < merged[-1][1] - TIME_EPS:
+                merged[-1][1] = max(merged[-1][1], finish)
+            else:
+                merged.append([start, finish])
+        for index, (start, finish) in enumerate(merged):
+            timeline.occupy(start, finish, f"<busy:{index}>")
 
 
 def _compute_priority_order(
@@ -91,6 +131,7 @@ def heft_schedule(
     *,
     insertion: bool = True,
     resource_available_from: Optional[Mapping[str, float]] = None,
+    busy: Optional[BusyIntervals] = None,
     name: str = "heft",
 ) -> Schedule:
     """Compute a static HEFT schedule.
@@ -107,6 +148,11 @@ def heft_schedule(
     resource_available_from:
         Optional earliest usable time per resource (``avail[j]``); defaults
         to 0 for every resource.
+    busy:
+        Optional foreign occupied spans per resource (other tenants'
+        bookings on a shared grid); placement treats them as unavailable —
+        see :func:`occupy_busy_intervals`.  ``None`` (the default) is the
+        dedicated-grid behaviour and is bit-identical to the seed kernel.
     """
     if not resources:
         raise ValueError("cannot schedule on an empty resource set")
@@ -116,6 +162,7 @@ def heft_schedule(
         rid: ResourceTimeline(rid, available_from=float(availability.get(rid, 0.0)))
         for rid in resources
     }
+    occupy_busy_intervals(timelines, busy)
     schedule = Schedule(name=name)
     order = heft_priority_order(workflow, costs, resources)
 
@@ -245,6 +292,7 @@ class HEFTScheduler:
         resources: Sequence[str],
         *,
         resource_available_from: Optional[Mapping[str, float]] = None,
+        busy: Optional[BusyIntervals] = None,
     ) -> Schedule:
         return heft_schedule(
             workflow,
@@ -252,5 +300,6 @@ class HEFTScheduler:
             resources,
             insertion=self.insertion,
             resource_available_from=resource_available_from,
+            busy=busy,
             name=self.name,
         )

@@ -11,7 +11,11 @@ kernel (:mod:`~repro.simulation.engine`) plus grid executors built on it
   plan),
 * :class:`~repro.simulation.executor.JustInTimeExecutor` — the dynamic
   strategy: maps each batch of ready jobs with Min-Min (or another batch
-  heuristic) at the moment it becomes ready.
+  heuristic) at the moment it becomes ready,
+* :class:`~repro.simulation.shared_grid.SharedGridExecutor` — the
+  multi-tenant executor: concurrent workflow streams from several tenants
+  book slots on the *same* resource timelines, with per-tenant AHEFT
+  replanning against the shared residual capacity.
 
 Execution produces an :class:`~repro.simulation.trace.ExecutionTrace`
 recording actual start/finish times, file transfers and the makespan.
@@ -19,6 +23,11 @@ recording actual start/finish times, file transfers and the makespan.
 
 from repro.simulation.engine import SimulationEngine, SimulationError
 from repro.simulation.executor import JustInTimeExecutor, StaticScheduleExecutor
+from repro.simulation.shared_grid import (
+    SharedGridExecutor,
+    SharedGridResult,
+    WorkflowOutcome,
+)
 from repro.simulation.trace import ExecutionTrace, TransferRecord, render_gantt
 
 __all__ = [
@@ -26,6 +35,9 @@ __all__ = [
     "SimulationError",
     "StaticScheduleExecutor",
     "JustInTimeExecutor",
+    "SharedGridExecutor",
+    "SharedGridResult",
+    "WorkflowOutcome",
     "ExecutionTrace",
     "TransferRecord",
     "render_gantt",

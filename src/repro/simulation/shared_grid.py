@@ -1,0 +1,220 @@
+"""Shared-grid execution of multi-tenant workflow streams.
+
+:class:`SharedGridExecutor` drives a
+:class:`~repro.core.multi_tenant.MultiTenantPlanner` through time: workflow
+arrivals (a :class:`~repro.workload.streams.WorkloadStream`'s output), the
+shared pool's membership events, and performance-profile changes are merged
+into one chronological trigger sequence, and every tenant books slots on
+the *same* resource timelines.
+
+Execution is analytic, like the paper's treatment of static and adaptive
+strategies under accurate estimates: an adopted booking *is* the execution
+(jobs start and finish exactly as booked), so the executor needs no
+discrete-event kernel — the scenario events are the only sources of
+surprise, and the planner absorbs them by replanning.  Departures kill
+running jobs across all tenants (wasted work is attributed to the tenant
+that lost it) and force the affected workflows to re-book on survivors.
+
+The result records one :class:`WorkflowOutcome` per arrival with the
+multi-tenancy metrics of the scheduling literature: **flow time**
+(completion − arrival), **stretch** (flow time relative to the span the
+workflow was predicted to need alone on the pool it arrived to), kills and
+wasted work.  :meth:`SharedGridResult.shared_timelines` rebuilds the joint
+timelines from every tenant's final schedule and raises if two tenants ever
+held the same slot — the cross-tenant exclusivity invariant the test suite
+checks (for scenarios without performance changes; see
+:mod:`repro.core.multi_tenant` for the perf-repair approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+from repro.resources.pool import PoolEvent, ResourcePool
+from repro.scheduling.aheft import AHEFTScheduler
+from repro.scheduling.base import ResourceTimeline, Schedule, TIME_EPS
+from repro.workload.streams import WorkflowArrival
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.adaptive import ReschedulingDecision
+
+__all__ = ["SharedGridExecutor", "SharedGridResult", "WorkflowOutcome"]
+
+
+@dataclass(frozen=True)
+class WorkflowOutcome:
+    """Final record of one workflow's run on the shared grid."""
+
+    key: str
+    tenant: str
+    kind: str
+    seq: int
+    arrival_time: float
+    completed_at: float
+    #: predicted span had the workflow run alone on the pool it arrived to
+    dedicated_span: float
+    schedule: Schedule
+    decisions: List["ReschedulingDecision"] = field(default_factory=list)
+    wasted_work: float = 0.0
+    killed_jobs: int = 0
+
+    @property
+    def flow_time(self) -> float:
+        """Time from submission to completion (sojourn time)."""
+        return self.completed_at - self.arrival_time
+
+    @property
+    def stretch(self) -> float:
+        """Flow time relative to the dedicated-grid span (1.0 = no slowdown)."""
+        if self.dedicated_span <= TIME_EPS:
+            return 1.0
+        return self.flow_time / self.dedicated_span
+
+    @property
+    def reschedule_count(self) -> int:
+        return sum(1 for decision in self.decisions if decision.adopted)
+
+
+@dataclass
+class SharedGridResult:
+    """Everything a multi-tenant run produced, per workflow."""
+
+    policy: str
+    outcomes: List[WorkflowOutcome]
+
+    def tenants(self) -> List[str]:
+        """Tenant names in first-arrival order."""
+        seen: List[str] = []
+        for outcome in self.outcomes:
+            if outcome.tenant not in seen:
+                seen.append(outcome.tenant)
+        return seen
+
+    def for_tenant(self, tenant: str) -> List[WorkflowOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.tenant == tenant]
+
+    def makespan(self) -> float:
+        """Completion time of the last workflow (0.0 for an empty run)."""
+        return max((outcome.completed_at for outcome in self.outcomes), default=0.0)
+
+    def total_wasted_work(self) -> float:
+        return sum(outcome.wasted_work for outcome in self.outcomes)
+
+    def total_killed_jobs(self) -> int:
+        return sum(outcome.killed_jobs for outcome in self.outcomes)
+
+    def shared_timelines(self) -> Dict[str, ResourceTimeline]:
+        """The joint per-resource timelines of every tenant's final schedule.
+
+        Booking every assignment of every workflow onto one timeline per
+        resource re-checks the shared-grid exclusivity invariant:
+        :meth:`~repro.scheduling.base.ResourceTimeline.occupy` raises
+        ``ValueError`` if two workflows ever held overlapping slots.
+        """
+        timelines: Dict[str, ResourceTimeline] = {}
+        for outcome in self.outcomes:
+            for assignment in outcome.schedule:
+                timeline = timelines.get(assignment.resource_id)
+                if timeline is None:
+                    timeline = ResourceTimeline(assignment.resource_id)
+                    timelines[assignment.resource_id] = timeline
+                timeline.occupy(
+                    assignment.start,
+                    assignment.finish,
+                    f"{outcome.key}:{assignment.job_id}",
+                )
+        return timelines
+
+
+class SharedGridExecutor:
+    """Run a multi-tenant arrival stream on one shared resource pool.
+
+    Parameters
+    ----------
+    arrivals:
+        The workflow arrivals (any order; processed chronologically with
+        the stream's ``seq`` as the FIFO tiebreak).
+    pool:
+        The shared pool — plain, or a materialised scenario's pool whose
+        availability windows encode joins and departures.
+    perf_profile:
+        Optional scenario performance profile shared by all tenants.
+    policy, tenant_weights, scheduler_factory, accept_only_if_better,
+    epsilon:
+        Forwarded to :class:`~repro.core.multi_tenant.MultiTenantPlanner`.
+
+    Trigger semantics at one instant: grid events are handled first (the
+    incumbents re-book around the change), then same-instant arrivals are
+    admitted in ``seq`` order against the updated residual capacity.
+    """
+
+    def __init__(
+        self,
+        arrivals: Sequence[WorkflowArrival],
+        pool: ResourcePool,
+        *,
+        perf_profile=None,
+        policy: str = "fifo",
+        tenant_weights: Optional[Dict[str, float]] = None,
+        scheduler_factory: Callable[[], AHEFTScheduler] = AHEFTScheduler,
+        accept_only_if_better: bool = True,
+        epsilon: float = 1e-9,
+    ) -> None:
+        self.arrivals = sorted(arrivals, key=lambda a: (a.time, a.seq, a.key))
+        self.pool = pool
+        self.perf_profile = perf_profile
+        self.policy = policy
+        self.tenant_weights = tenant_weights
+        self.scheduler_factory = scheduler_factory
+        self.accept_only_if_better = accept_only_if_better
+        self.epsilon = epsilon
+
+    def run(self) -> SharedGridResult:
+        # imported here: repro.core.adaptive itself imports the simulation
+        # package, so a module-level import would be circular
+        from repro.core.multi_tenant import MultiTenantPlanner
+
+        planner = MultiTenantPlanner(
+            self.pool,
+            perf_profile=self.perf_profile,
+            policy=self.policy,
+            tenant_weights=self.tenant_weights,
+            scheduler_factory=self.scheduler_factory,
+            accept_only_if_better=self.accept_only_if_better,
+            epsilon=self.epsilon,
+        )
+        triggers: Dict[float, Optional[PoolEvent]] = {
+            event.time: event for event in self.pool.events()
+        }
+        if self.perf_profile is not None:
+            for time in self.perf_profile.change_times():
+                triggers.setdefault(time, None)
+        arrivals_at: Dict[float, List[WorkflowArrival]] = {}
+        for arrival in self.arrivals:
+            arrivals_at.setdefault(arrival.time, []).append(arrival)
+
+        for clock in sorted(set(triggers) | set(arrivals_at)):
+            if clock in triggers:
+                planner.handle_event(clock, triggers[clock])
+            for arrival in arrivals_at.get(clock, ()):
+                planner.admit(arrival, clock)
+
+        outcomes = [
+            WorkflowOutcome(
+                key=wf.key,
+                tenant=wf.tenant,
+                kind=wf.kind,
+                seq=wf.seq,
+                arrival_time=wf.arrival_time,
+                completed_at=wf.completed_at,
+                dedicated_span=wf.dedicated_span,
+                schedule=wf.schedule,
+                decisions=list(wf.decisions),
+                wasted_work=wf.wasted_work,
+                killed_jobs=len(wf.killed_jobs),
+            )
+            for wf in planner.finalize()
+        ]
+        outcomes.sort(key=lambda outcome: outcome.seq)
+        return SharedGridResult(policy=self.policy, outcomes=outcomes)

@@ -1,0 +1,34 @@
+"""Multi-tenant workload generation.
+
+The paper evaluates one workflow at a time; a production grid serves many
+users at once.  This package models that dimension:
+
+* :class:`~repro.workload.streams.TenantSpec` — one tenant: a fair-share
+  weight, a workload *mix* (random DAGs and BLAST / WIEN2K / Montage
+  applications), and an arrival process (Poisson, or an explicit
+  trace replay),
+* :class:`~repro.workload.streams.WorkloadStream` — turns tenant specs
+  into a deterministic, chronologically merged stream of
+  :class:`~repro.workload.streams.WorkflowArrival` values, each carrying a
+  fully priced :class:`~repro.generators.costs.WorkflowCase`.
+
+The stream is consumed by
+:class:`~repro.simulation.shared_grid.SharedGridExecutor`, where every
+tenant books slots on the *same* resource timelines.
+"""
+
+from repro.workload.streams import (
+    TenantSpec,
+    WorkflowArrival,
+    WorkloadStream,
+    default_tenants,
+    poisson_arrival_times,
+)
+
+__all__ = [
+    "TenantSpec",
+    "WorkflowArrival",
+    "WorkloadStream",
+    "default_tenants",
+    "poisson_arrival_times",
+]

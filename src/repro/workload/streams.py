@@ -1,0 +1,305 @@
+"""Arrival streams of heterogeneous workflows for concurrent tenants.
+
+A *tenant* is one user (or virtual organisation) submitting workflows to
+the shared grid.  Its :class:`TenantSpec` describes
+
+* **when** workflows arrive — a Poisson process of rate ``arrival_rate``
+  (exponential inter-arrival gaps), or an explicit ``trace`` of arrival
+  times replayed verbatim (e.g. recorded from a production log), and
+* **what** arrives — a ``mix`` of workload kinds with selection weights:
+  parametric random DAGs and the BLAST / WIEN2K / Montage application
+  shapes, priced with the tenant's CCR / β / ω_DAG settings.
+
+Determinism: every random draw derives from ``(seed, tenant, purpose, …)``
+via :func:`~repro.utils.rng.spawn_rng`, so a stream is reproducible from
+``(specs, seed)`` alone — independent of tenant order or how many other
+tenants exist, which keeps sweep points comparable when the tenant count is
+the swept parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.generators.blast import generate_blast_case
+from repro.generators.costs import WorkflowCase
+from repro.generators.montage import generate_montage_case
+from repro.generators.random_dag import RandomDAGParameters, generate_random_case
+from repro.generators.wien2k import generate_wien2k_case
+from repro.utils.rng import spawn_rng
+
+__all__ = [
+    "TenantSpec",
+    "WorkflowArrival",
+    "WorkloadStream",
+    "default_tenants",
+    "poisson_arrival_times",
+]
+
+#: workload kinds a tenant mix may reference
+WORKLOAD_KINDS = ("random", "blast", "wien2k", "montage")
+
+#: default mix: mostly parametric random DAGs with an application tail
+DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("random", 0.55),
+    ("blast", 0.15),
+    ("wien2k", 0.15),
+    ("montage", 0.15),
+)
+
+
+def poisson_arrival_times(
+    rate: float,
+    *,
+    horizon: float,
+    max_arrivals: int,
+    rng: np.random.Generator,
+) -> List[float]:
+    """Arrival times of a Poisson process of ``rate`` events per time unit.
+
+    Exponential inter-arrival gaps are drawn until either ``max_arrivals``
+    events were produced or the horizon is passed.  ``rate <= 0`` yields an
+    empty stream.
+    """
+    if rate <= 0 or max_arrivals <= 0:
+        return []
+    times: List[float] = []
+    clock = 0.0
+    while len(times) < max_arrivals:
+        clock += float(rng.exponential(1.0 / rate))
+        if clock > horizon:
+            break
+        times.append(clock)
+    return times
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the shared grid.
+
+    Parameters
+    ----------
+    name:
+        Tenant identifier (also the fair-share accounting key).
+    arrival_rate:
+        Poisson rate λ (workflows per logical time unit).  Ignored when a
+        ``trace`` is given.
+    trace:
+        Explicit arrival times to replay instead of the Poisson process
+        (must be non-negative and non-decreasing).
+    mix:
+        ``(kind, weight)`` pairs over :data:`WORKLOAD_KINDS`; one kind is
+        drawn per arrival, proportionally to the weights.
+    weight:
+        Fair-share weight — tenants with a larger weight are entitled to
+        proportionally more of the grid under the ``fair_share`` policy.
+    max_arrivals:
+        Upper bound on this tenant's Poisson arrivals (bounds run time; the
+        clamp is deterministic).
+    v, out_degree, parallelism, ccr, beta, omega_dag:
+        Workload sizing: random DAGs use ``v``/``out_degree``, applications
+        use ``parallelism``; all cases are priced with ``ccr``/``beta``/
+        ``omega_dag``.
+    """
+
+    name: str
+    arrival_rate: float = 0.005
+    trace: Tuple[float, ...] = ()
+    mix: Tuple[Tuple[str, float], ...] = DEFAULT_MIX
+    weight: float = 1.0
+    max_arrivals: int = 6
+    v: int = 24
+    out_degree: float = 0.2
+    parallelism: int = 12
+    ccr: float = 1.0
+    beta: float = 0.5
+    omega_dag: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if not self.mix:
+            raise ValueError("mix must name at least one workload kind")
+        for kind, share in self.mix:
+            if kind not in WORKLOAD_KINDS:
+                raise ValueError(
+                    f"unknown workload kind {kind!r}; choose from {WORKLOAD_KINDS}"
+                )
+            if share < 0:
+                raise ValueError("mix weights must be non-negative")
+        if sum(share for _, share in self.mix) <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+        last = 0.0
+        for time in self.trace:
+            if time < last:
+                raise ValueError("trace arrival times must be non-decreasing")
+            last = time
+
+    def arrival_times(self, *, seed: int, horizon: float) -> List[float]:
+        """This tenant's arrival times (trace replay or Poisson draw)."""
+        if self.trace:
+            return [float(t) for t in self.trace if t <= horizon]
+        rng = spawn_rng(seed, "arrivals", self.name)
+        return poisson_arrival_times(
+            self.arrival_rate, horizon=horizon, max_arrivals=self.max_arrivals, rng=rng
+        )
+
+    def draw_kind(self, index: int, *, seed: int) -> str:
+        """The workload kind of this tenant's ``index``-th arrival."""
+        kinds = [kind for kind, _ in self.mix]
+        weights = np.asarray([share for _, share in self.mix], dtype=float)
+        weights = weights / weights.sum()
+        rng = spawn_rng(seed, "mix", self.name, index)
+        return kinds[int(rng.choice(len(kinds), p=weights))]
+
+    def build_case(self, kind: str, index: int, *, seed: int) -> WorkflowCase:
+        """Generate and price the ``index``-th workflow of the given kind."""
+        case_seed = int(
+            spawn_rng(seed, "case", self.name, index, kind).integers(0, 2**62)
+        )
+        if kind == "random":
+            params = RandomDAGParameters(
+                v=self.v,
+                out_degree=self.out_degree,
+                ccr=self.ccr,
+                beta=self.beta,
+                omega_dag=self.omega_dag,
+            )
+            return generate_random_case(params, seed=case_seed, instance=index)
+        generator = {
+            "blast": generate_blast_case,
+            "wien2k": generate_wien2k_case,
+            "montage": generate_montage_case,
+        }[kind]
+        return generator(
+            self.parallelism,
+            ccr=self.ccr,
+            beta=self.beta,
+            omega_dag=self.omega_dag,
+            seed=case_seed,
+        )
+
+
+@dataclass(frozen=True)
+class WorkflowArrival:
+    """One workflow arriving at the shared grid.
+
+    ``seq`` is the position in the merged chronological stream — the FIFO
+    submission order the scheduling policies break ties with.
+    """
+
+    tenant: str
+    index: int
+    time: float
+    kind: str
+    case: WorkflowCase
+    seq: int = 0
+
+    @property
+    def key(self) -> str:
+        """Globally unique workflow identifier, e.g. ``"t1/0"``."""
+        return f"{self.tenant}/{self.index}"
+
+
+@dataclass
+class WorkloadStream:
+    """A deterministic merged arrival stream over several tenants."""
+
+    tenants: Sequence[TenantSpec]
+    seed: int = 0
+    horizon: float = 8000.0
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+    def tenant(self, name: str) -> TenantSpec:
+        for spec in self.tenants:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"unknown tenant {name!r}")
+
+    def weights(self) -> Dict[str, float]:
+        return {spec.name: spec.weight for spec in self.tenants}
+
+    def arrivals(self) -> List[WorkflowArrival]:
+        """The merged stream, sorted by (time, tenant, index).
+
+        Workflows arriving at time 0 are allowed (a trace may start with
+        0.0) and are planned before any grid event fires.
+        """
+        merged: List[WorkflowArrival] = []
+        for spec in self.tenants:
+            times = spec.arrival_times(seed=self.seed, horizon=self.horizon)
+            for index, time in enumerate(times):
+                kind = spec.draw_kind(index, seed=self.seed)
+                case = spec.build_case(kind, index, seed=self.seed)
+                merged.append(
+                    WorkflowArrival(
+                        tenant=spec.name, index=index, time=time, kind=kind, case=case
+                    )
+                )
+        merged.sort(key=lambda a: (a.time, a.tenant, a.index))
+        return [
+            WorkflowArrival(
+                tenant=a.tenant,
+                index=a.index,
+                time=a.time,
+                kind=a.kind,
+                case=a.case,
+                seq=seq,
+            )
+            for seq, a in enumerate(merged)
+        ]
+
+
+def default_tenants(
+    count: int,
+    *,
+    arrival_rate: float = 0.005,
+    max_arrivals: int = 6,
+    v: int = 24,
+    parallelism: int = 12,
+    ccr: float = 1.0,
+    beta: float = 0.5,
+    omega_dag: float = 300.0,
+) -> List[TenantSpec]:
+    """``count`` tenants named ``t1..tN`` with staggered workload mixes.
+
+    Tenant ``t1`` submits the default mixed workload; subsequent tenants
+    rotate the mix emphasis (random-heavy, BLAST-heavy, WIEN2K-heavy,
+    Montage-heavy) so a multi-tenant run always exercises heterogeneous
+    DAG shapes competing for the same resources.
+    """
+    if count <= 0:
+        raise ValueError("tenant count must be positive")
+    emphases: List[Tuple[Tuple[str, float], ...]] = [
+        DEFAULT_MIX,
+        (("random", 0.70), ("blast", 0.30)),
+        (("blast", 0.40), ("wien2k", 0.40), ("random", 0.20)),
+        (("montage", 0.50), ("random", 0.50)),
+    ]
+    return [
+        TenantSpec(
+            name=f"t{i + 1}",
+            arrival_rate=arrival_rate,
+            mix=emphases[i % len(emphases)],
+            max_arrivals=max_arrivals,
+            v=v,
+            parallelism=parallelism,
+            ccr=ccr,
+            beta=beta,
+            omega_dag=omega_dag,
+        )
+        for i in range(count)
+    ]

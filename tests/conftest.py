@@ -1,4 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Besides the classic example fixtures (diamond/chain DAGs, the Fig. 4
+sample), three *factory* fixtures replace the ad-hoc builders test modules
+used to carry locally:
+
+* ``make_case(v=20, seed=0, **params)`` — a deterministic priced random-DAG
+  case; keyword defaults mirror
+  :class:`~repro.generators.random_dag.RandomDAGParameters`;
+* ``make_pool(initial=4, joins=(), leaves={})`` — a resource pool with
+  optional later joins and departure windows;
+* ``make_scenario(name, **params)`` — a registered scenario instance, or —
+  when ``initial_size`` is passed — its materialised
+  :class:`~repro.scenarios.base.ScenarioRun` (pool + perf profile +
+  validated events).
+"""
 
 from __future__ import annotations
 
@@ -15,6 +30,98 @@ from repro.resources.pool import ResourcePool
 from repro.resources.resource import Resource
 from repro.workflow.costs import TabularCostModel, UniformCostModel
 from repro.workflow.dag import Workflow
+
+
+@pytest.fixture
+def make_case():
+    """Factory for deterministic priced random-DAG cases."""
+
+    def factory(
+        v: int = 20,
+        *,
+        seed: int = 0,
+        instance: int = 0,
+        out_degree: float = 0.2,
+        ccr: float = 1.0,
+        beta: float = 0.5,
+        alpha: float = 1.0,
+        omega_dag: float = 50.0,
+    ):
+        params = RandomDAGParameters(
+            v=v,
+            out_degree=out_degree,
+            ccr=ccr,
+            beta=beta,
+            alpha=alpha,
+            omega_dag=omega_dag,
+        )
+        return generate_random_case(params, seed=seed, instance=instance)
+
+    return factory
+
+
+@pytest.fixture
+def make_pool():
+    """Factory for resource pools with joins and departure windows.
+
+    ``joins`` entries are either a join time or a ``(time, count)`` pair;
+    joined resources continue the ``r<N>`` numbering.  ``leaves`` maps a
+    resource id to its ``available_until`` departure time.
+    """
+
+    def factory(initial: int = 4, *, joins=(), leaves=None, prefix: str = "r"):
+        until = dict(leaves or {})
+        pool = ResourcePool()
+        for index in range(1, initial + 1):
+            rid = f"{prefix}{index}"
+            pool.add(Resource(rid, available_until=until.get(rid)))
+        counter = initial
+        for join in joins:
+            time, count = join if isinstance(join, tuple) else (join, 1)
+            for _ in range(int(count)):
+                counter += 1
+                rid = f"{prefix}{counter}"
+                pool.add(
+                    Resource(
+                        rid,
+                        available_from=float(time),
+                        available_until=until.get(rid),
+                    )
+                )
+        return pool
+
+    return factory
+
+
+@pytest.fixture
+def make_scenario():
+    """Factory for registered scenarios, optionally materialised.
+
+    ``make_scenario("churn", interval=100.0)`` returns the scenario
+    instance; adding ``initial_size=6`` (plus optional ``seed``/
+    ``horizon``) materialises it into a ScenarioRun with a concrete pool
+    and performance profile.
+    """
+
+    def factory(
+        name: str = "static",
+        *,
+        initial_size=None,
+        seed: int = 0,
+        horizon: float = 8000.0,
+        **params,
+    ):
+        from repro.scenarios import make_scenario as registry_make
+        from repro.scenarios import materialize
+
+        scenario = registry_make(name, **params)
+        if initial_size is None:
+            return scenario
+        return materialize(
+            scenario, initial_size=int(initial_size), seed=seed, horizon=horizon
+        )
+
+    return factory
 
 
 @pytest.fixture
@@ -79,21 +186,15 @@ def sample_pool() -> ResourcePool:
 
 
 @pytest.fixture
-def small_random_case():
+def small_random_case(make_case):
     """A small (20-job) random priced case, deterministic."""
-    params = RandomDAGParameters(v=20, out_degree=0.3, ccr=1.0, beta=0.5)
-    return generate_random_case(params, seed=123)
+    return make_case(v=20, out_degree=0.3, seed=123)
 
 
 @pytest.fixture
-def growing_pool() -> ResourcePool:
+def growing_pool(make_pool) -> ResourcePool:
     """Four resources at t=0 plus two joining later."""
-    pool = ResourcePool()
-    for index in range(1, 5):
-        pool.add(Resource(f"r{index}"))
-    pool.add(Resource("r5", available_from=30.0))
-    pool.add(Resource("r6", available_from=60.0))
-    return pool
+    return make_pool(4, joins=(30.0, 60.0))
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ from repro.core.adaptive import (
     run_static,
 )
 from repro.generators.blast import generate_blast_case
-from repro.generators.random_dag import RandomDAGParameters, generate_random_case
 from repro.resources.dynamics import ResourceChangeModel
 from repro.resources.pool import ResourcePool
 from repro.resources.resource import Resource
@@ -122,10 +121,9 @@ class TestRunDynamic:
         result = run_dynamic(blast_case.workflow, blast_case.costs, dynamic_pool)
         assert result.strategy == "MinMin"
 
-    def test_plan_ahead_beats_dynamic_on_random_dags(self):
+    def test_plan_ahead_beats_dynamic_on_random_dags(self, make_case):
         """The paper's central comparison: HEFT/AHEFT beat dynamic Min-Min."""
-        params = RandomDAGParameters(v=40, out_degree=0.3, ccr=5.0, beta=0.5, omega_dag=100.0)
-        case = generate_random_case(params, seed=11)
+        case = make_case(v=40, out_degree=0.3, ccr=5.0, omega_dag=100.0, seed=11)
         pool = ResourceChangeModel(initial_size=8, interval=500.0, fraction=0.2).build_pool()
         static = run_static(case.workflow, case.costs, pool)
         adaptive = run_adaptive(case.workflow, case.costs, pool)

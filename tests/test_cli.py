@@ -189,6 +189,111 @@ class TestSweepCommand:
         )
 
 
+class TestDynamicScenarioHelp:
+    """`--help` must enumerate the registry, not a hard-coded list, so new
+    scenarios can never drift out of the help text."""
+
+    @pytest.mark.parametrize("command", ["sweep", "multi"])
+    def test_help_lists_every_registered_scenario(self, command, capsys):
+        from repro.scenarios import available_scenarios
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in available_scenarios():
+            assert name in out
+
+    def test_freshly_registered_scenario_appears_in_help(self, capsys):
+        from repro.scenarios import StaticScenario
+        from repro.scenarios.library import _REGISTRY, _SUMMARIES, register_scenario
+
+        name = "only_for_this_test"
+        register_scenario(name, "ephemeral")(StaticScenario)
+        try:
+            with pytest.raises(SystemExit):
+                main(["sweep", "--help"])
+            assert name in capsys.readouterr().out
+        finally:
+            _REGISTRY.pop(name, None)
+            _SUMMARIES.pop(name, None)
+
+
+class TestMultiCommand:
+    def test_multi_ledger_is_deterministic(self, tmp_path):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        args = [
+            "multi",
+            "--tenants",
+            "2",
+            "--arrival-rate",
+            "0.003",
+            "--scenario",
+            "departures",
+            "--quick",
+            "--seed",
+            "1",
+        ]
+        assert main(args + ["--out", str(out_a)]) == EXIT_OK
+        assert main(args + ["--out", str(out_b)]) == EXIT_OK
+        assert out_a.read_text() == out_b.read_text()
+        assert main(["compare", str(out_a), str(out_b)]) == EXIT_OK
+        ledger = json.loads(out_a.read_text())
+        assert ledger["kind"] == "multi_workflow_sweep"
+        point = ledger["points"][0]
+        for key in ("mean_flow_time", "p95_flow_time", "fairness", "throughput"):
+            assert key in point
+        assert point["scenario"] == "departures"
+
+    def test_default_scenario_is_static(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        assert (
+            main(
+                [
+                    "multi",
+                    "--tenants",
+                    "1",
+                    "--quick",
+                    "--max-arrivals",
+                    "1",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == EXIT_OK
+        )
+        assert json.loads(out.read_text())["points"][0]["scenario"] == "static"
+
+    def test_unknown_policy_exits_two(self, tmp_path):
+        assert (
+            main(
+                [
+                    "multi",
+                    "--policies",
+                    "round_robin",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+            == EXIT_ERROR
+        )
+
+    def test_unknown_scenario_exits_two(self, tmp_path):
+        assert (
+            main(
+                ["multi", "--scenario", "nope", "--out", str(tmp_path / "x.json")]
+            )
+            == EXIT_ERROR
+        )
+
+    def test_non_positive_tenants_exits_two(self, tmp_path):
+        assert (
+            main(["multi", "--tenants", "0", "--out", str(tmp_path / "x.json")])
+            == EXIT_ERROR
+        )
+
+
 class TestRunCommand:
     def test_list_names_benchmarks(self, capsys):
         bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
@@ -202,6 +307,58 @@ class TestRunCommand:
             main(["run", "definitely-missing", "--bench-dir", str(bench_dir)])
             == EXIT_ERROR
         )
+
+    def test_forwarding_after_separator_reaches_the_script(self, tmp_path, capsys):
+        """`repro run bench -- --flag` forwards --flag (the CI kernel-gate
+        invocation) even though argparse consumes the first `--` itself."""
+        (tmp_path / "bench_echo.py").write_text(
+            "import json, sys\nprint('ARGS=' + json.dumps(sys.argv[1:]))\n",
+            encoding="utf-8",
+        )
+        assert (
+            main(["run", "--bench-dir", str(tmp_path), "echo", "--", "--quick"])
+            == EXIT_OK
+        )
+        assert 'ARGS=["--quick"]' in capsys.readouterr().out
+
+    def test_forwarding_without_separator_exits_two(self, tmp_path):
+        (tmp_path / "bench_echo.py").write_text("pass\n", encoding="utf-8")
+        assert (
+            main(["run", "--bench-dir", str(tmp_path), "echo", "--quick"])
+            == EXIT_ERROR
+        )
+
+    def test_option_before_separator_still_fails_loudly(self, tmp_path):
+        """A mistyped repro option between bench name and `--` must not be
+        silently forwarded to the script."""
+        (tmp_path / "bench_echo.py").write_text("pass\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "run",
+                    "--bench-dir",
+                    str(tmp_path),
+                    "echo",
+                    "--quick",
+                    "--",
+                    "--real",
+                ]
+            )
+            == EXIT_ERROR
+        )
+
+    def test_literal_separator_inside_script_args_is_forwarded(self, tmp_path, capsys):
+        (tmp_path / "bench_echo.py").write_text(
+            "import json, sys\nprint('ARGS=' + json.dumps(sys.argv[1:]))\n",
+            encoding="utf-8",
+        )
+        assert (
+            main(
+                ["run", "--bench-dir", str(tmp_path), "echo", "--", "a", "--", "b"]
+            )
+            == EXIT_OK
+        )
+        assert 'ARGS=["a", "--", "b"]' in capsys.readouterr().out
 
 
 class TestModuleEntryPoint:

@@ -21,7 +21,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.adaptive import run_adaptive, run_dynamic, run_static
-from repro.generators.random_dag import RandomDAGParameters, generate_random_case
 from repro.resources.dynamics import ResourceChangeModel, StaticResourceModel
 from repro.scenarios import (
     ChurnScenario,
@@ -45,8 +44,8 @@ from repro.scheduling.heft import heft_schedule
 
 
 @pytest.fixture
-def case30():
-    return generate_random_case(RandomDAGParameters(v=30), seed=11)
+def case30(make_case):
+    return make_case(v=30, seed=11)
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,6 @@ from hypothesis import strategies as st
 
 from repro.core.adaptive import run_adaptive
 from repro.generators.blast import generate_blast_case
-from repro.generators.random_dag import RandomDAGParameters, generate_random_case
 from repro.generators.wien2k import generate_wien2k_case
 from repro.resources.dynamics import ResourceChangeModel
 from repro.scheduling._seed_reference import (
@@ -155,14 +154,6 @@ class TestTimelineMatchesSeedTimeline:
         assert fast.earliest_start(4.0, 0.0) == naive.earliest_start(4.0, 0.0)
 
 
-def _random_cases(seeds=(0, 1, 2), v=60):
-    for seed in seeds:
-        params = RandomDAGParameters(
-            v=v, out_degree=0.2, ccr=1.0, beta=0.5, omega_dag=300.0
-        )
-        yield generate_random_case(params, seed=seed)
-
-
 def _application_cases():
     yield generate_blast_case(24, ccr=1.0, beta=0.5, omega_dag=300.0, seed=4)
     yield generate_wien2k_case(16, ccr=1.0, beta=0.5, omega_dag=300.0, seed=4)
@@ -171,9 +162,9 @@ def _application_cases():
 class TestKernelEquivalence:
     """The fast kernel must be bit-identical to the frozen seed kernel."""
 
-    def test_static_heft_identical_on_random_dags(self):
+    def test_static_heft_identical_on_random_dags(self, make_case):
         resources = [f"r{i + 1}" for i in range(12)]
-        for case in _random_cases():
+        for case in (make_case(v=60, omega_dag=300.0, seed=s) for s in (0, 1, 2)):
             fast = heft_schedule(case.workflow, case.costs, resources)
             seed = seed_heft_schedule(case.workflow, case.costs, resources)
             assert fast.to_dict() == seed.to_dict()
@@ -186,9 +177,9 @@ class TestKernelEquivalence:
             seed = seed_heft_schedule(case.workflow, case.costs, resources)
             assert fast.to_dict() == seed.to_dict()
 
-    def test_aheft_reschedule_identical_mid_flight(self):
+    def test_aheft_reschedule_identical_mid_flight(self, make_case):
         resources = [f"r{i + 1}" for i in range(8)]
-        for case in _random_cases(seeds=(5, 6)):
+        for case in (make_case(v=60, omega_dag=300.0, seed=s) for s in (5, 6)):
             previous = heft_schedule(case.workflow, case.costs, resources)
             clock = previous.makespan() * 0.35
             grown = resources + ["g1", "g2", "g3"]
@@ -208,9 +199,9 @@ class TestKernelEquivalence:
             )
             assert fast.to_dict() == seed.to_dict()
 
-    def test_aheft_reschedule_identical_without_respect_running(self):
+    def test_aheft_reschedule_identical_without_respect_running(self, make_case):
         resources = [f"r{i + 1}" for i in range(6)]
-        case = next(iter(_random_cases(seeds=(9,))))
+        case = make_case(v=60, omega_dag=300.0, seed=9)
         previous = heft_schedule(case.workflow, case.costs, resources)
         clock = previous.makespan() * 0.5
         kwargs = dict(
@@ -220,11 +211,11 @@ class TestKernelEquivalence:
         seed = seed_aheft_reschedule(case.workflow, case.costs, resources, **kwargs)
         assert fast.to_dict() == seed.to_dict()
 
-    def test_adaptive_run_identical_over_pool_events(self):
+    def test_adaptive_run_identical_over_pool_events(self, make_case):
         model = ResourceChangeModel(
             initial_size=8, interval=150.0, fraction=0.2, max_events=6
         )
-        for case in _random_cases(seeds=(3,), v=80):
+        for case in (make_case(v=80, omega_dag=300.0, seed=3),):
             pool = model.build_pool()
             fast = run_adaptive(
                 case.workflow, case.costs, pool, scheduler=AHEFTScheduler()
@@ -249,11 +240,11 @@ class TestKernelEquivalence:
         assert fast.final_schedule.to_dict() == seed.final_schedule.to_dict()
         assert fast.makespan == seed.makespan
 
-    def test_priority_cache_invalidated_by_workflow_mutation(self):
+    def test_priority_cache_invalidated_by_workflow_mutation(self, make_case):
         from repro.scheduling.heft import heft_priority_order
         from repro.workflow.analysis import upward_ranks
 
-        case = next(iter(_random_cases(seeds=(1,), v=20)))
+        case = make_case(v=20, omega_dag=300.0, seed=1)
         wf, costs = case.workflow, case.costs
         resources = ["r1", "r2", "r3"]
         order_before = heft_priority_order(wf, costs, resources)
