@@ -1,6 +1,6 @@
 """``python -m repro`` — the reproduction's command-line interface.
 
-Five subcommands make the benchmark matrix scriptable from CI and from a
+Six subcommands make the benchmark matrix scriptable from CI and from a
 shell alike:
 
 * ``repro scenarios`` — list the registered grid-dynamics scenarios;
@@ -12,6 +12,10 @@ shell alike:
 * ``repro multi --tenants 4 --arrival-rate 0.01 --scenario departures`` —
   run the multi-tenant shared-grid matrix (concurrent workflow streams
   competing for the same resources) and write a JSON ledger;
+* ``repro mc --error-model resource_bias --magnitude 0 --magnitude 0.4``
+  — the Monte Carlo uncertainty matrix: replicated runs under sampled
+  ground-truth runtimes, reporting mean/CI95 makespans and the AHEFT
+  improvement trend over estimate-error magnitudes;
 * ``repro compare <ledger-A> <ledger-B>`` — compare two JSON ledgers
   within a tolerance.
 
@@ -316,6 +320,93 @@ def _cmd_multi(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro mc
+# ----------------------------------------------------------------------
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from repro.experiments.config import RandomExperimentConfig
+    from repro.experiments.reporting import render_uncertainty_matrix
+    from repro.experiments.uncertainty import sweep_uncertainty
+    from repro.scenarios import make_scenario
+    from repro.workflow.costs import available_error_models, make_error_model
+
+    if args.error_model not in available_error_models():
+        raise CliError(
+            f"unknown error model {args.error_model!r}; "
+            f"registered: {', '.join(available_error_models())}"
+        )
+    magnitudes = args.magnitude if args.magnitude else [0.0, 0.2, 0.4, 0.6]
+    if any(m < 0 for m in magnitudes):
+        raise CliError("error magnitudes must be non-negative")
+    for magnitude in magnitudes:
+        try:
+            make_error_model(args.error_model, magnitude, seed=args.seed)
+        except ValueError as error:
+            raise CliError(
+                f"error model {args.error_model!r} rejected magnitude "
+                f"{magnitude!r}: {error}"
+            ) from None
+    scenarios = list(args.scenario) if args.scenario else ["paper"]
+    for name in scenarios:
+        make_scenario(name)  # raises ScenarioError on unknown names
+
+    v = args.v if args.v is not None else (24 if args.quick else 40)
+    resources = args.resources if args.resources is not None else (8 if args.quick else 10)
+    instances = args.instances if args.instances is not None else (1 if args.quick else 2)
+    replications = args.replications if args.replications is not None else (
+        3 if args.quick else 5
+    )
+    strategies = tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+    base = RandomExperimentConfig(
+        v=v,
+        ccr=args.ccr,
+        out_degree=args.out_degree,
+        beta=args.beta,
+        resources=resources,
+        seed=args.seed,
+    )
+    points = sweep_uncertainty(
+        magnitudes,
+        error_model=args.error_model,
+        scenarios=scenarios,
+        strategies=strategies,
+        base_config=base,
+        instances=instances,
+        replications=replications,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    table = render_uncertainty_matrix(
+        points,
+        strategies=strategies,
+        title=f"Monte Carlo uncertainty sweep ({args.name})",
+    )
+    print(table)
+
+    ledger = {
+        "name": args.name,
+        "kind": "uncertainty_sweep",
+        "base_config": base.as_params(),
+        "error_model": args.error_model,
+        "magnitudes": [float(m) for m in magnitudes],
+        "scenarios": scenarios,
+        "instances": instances,
+        "replications": replications,
+        "seed": args.seed,
+        "strategies": list(strategies),
+        "points": [point.as_dict() for point in points],
+        "lines": table.splitlines(),
+    }
+    out = Path(args.out) if args.out else _bench_dir(None) / "results" / f"{args.name}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(ledger, indent=2, sort_keys=True, default=str) + "\n",
+        encoding="utf-8",
+    )
+    print(f"ledger written to {out}")
+    return EXIT_OK
+
+
+# ----------------------------------------------------------------------
 # repro compare
 # ----------------------------------------------------------------------
 def _flatten(value: object, prefix: str = "") -> Iterator[Tuple[str, object]]:
@@ -449,6 +540,22 @@ def _scenario_help() -> str:
     )
 
 
+def _error_model_help() -> str:
+    """Enumerate the registered error families so help text cannot drift.
+
+    New error models register themselves in
+    :data:`repro.workflow.costs.ERROR_MODELS`; building the string
+    dynamically keeps ``repro mc --help`` (and the CLI contract tests
+    asserting on it) in sync with the registry automatically.
+    """
+    from repro.workflow.costs import available_error_models, error_model_summary
+
+    parts = [
+        f"{name} ({error_model_summary(name)})" for name in available_error_models()
+    ]
+    return "error-model family; registered: " + "; ".join(parts)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -550,6 +657,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="CI smoke defaults (v=16, R=8, 3 arrivals)"
     )
     p_multi.set_defaults(func=_cmd_multi)
+
+    p_mc = sub.add_parser(
+        "mc",
+        help="Monte Carlo uncertainty sweep: replicated runs under sampled "
+        "ground-truth runtimes, write a JSON ledger",
+    )
+    p_mc.add_argument(
+        "--error-model",
+        default="resource_bias",
+        help=_error_model_help(),
+    )
+    p_mc.add_argument(
+        "--magnitude",
+        action="append",
+        type=float,
+        default=[],
+        help="error magnitude (repeatable; default 0.0 0.2 0.4 0.6)",
+    )
+    p_mc.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        help=_scenario_help() + " (default: paper)",
+    )
+    p_mc.add_argument(
+        "--strategies", default="HEFT,AHEFT", help="comma-separated strategy names"
+    )
+    p_mc.add_argument("--name", default="uncertainty", help="ledger name")
+    p_mc.add_argument("--out", help="ledger path (default benchmarks/results/<name>.json)")
+    p_mc.add_argument("--v", type=int, default=None, help="jobs per random DAG")
+    p_mc.add_argument("--resources", type=int, default=None, help="initial pool size R")
+    p_mc.add_argument("--ccr", type=float, default=1.0)
+    p_mc.add_argument("--out-degree", type=float, default=0.2)
+    p_mc.add_argument("--beta", type=float, default=0.5)
+    p_mc.add_argument(
+        "--instances", type=int, default=None, help="workflow instances per cell"
+    )
+    p_mc.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        help="independent truth samples per instance",
+    )
+    p_mc.add_argument("--seed", type=int, default=0)
+    p_mc.add_argument("--workers", type=int, default=None, help="parallel case workers")
+    p_mc.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke defaults (v=24, R=8, 1 instance, 3 replications)",
+    )
+    p_mc.set_defaults(func=_cmd_mc)
 
     p_cmp = sub.add_parser(
         "compare",

@@ -23,13 +23,18 @@ from repro.core.events import (
     EventBus,
 )
 from repro.core.history import PerformanceHistoryRepository, PerformanceRecord
-from repro.core.predictor import Predictor, HistoryAdjustedCostModel
+from repro.core.predictor import (
+    Predictor,
+    HistoryAdjustedCostModel,
+    RatioAdjustedCostModel,
+)
 from repro.core.planner import Planner, PlannerDecision, WorkflowPlan
 from repro.core.adaptive import (
     AdaptiveReschedulingLoop,
     AdaptiveRunResult,
     ReschedulingDecision,
     apply_departure_kills,
+    project_actuals,
     run_adaptive,
     run_static,
     run_dynamic,
@@ -47,6 +52,7 @@ __all__ = [
     "PerformanceRecord",
     "Predictor",
     "HistoryAdjustedCostModel",
+    "RatioAdjustedCostModel",
     "Planner",
     "PlannerDecision",
     "WorkflowPlan",
@@ -54,6 +60,7 @@ __all__ = [
     "AdaptiveRunResult",
     "ReschedulingDecision",
     "apply_departure_kills",
+    "project_actuals",
     "run_adaptive",
     "run_static",
     "run_dynamic",

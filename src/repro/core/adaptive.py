@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.history import PerformanceHistoryRepository
+from repro.core.predictor import Predictor
 from repro.resources.pool import PoolEvent, ResourcePool
 from repro.scheduling.aheft import AHEFTScheduler
 from repro.scheduling.base import (
@@ -39,7 +41,7 @@ from repro.scheduling.heft import HEFTScheduler
 from repro.scheduling.minmin import MinMinScheduler
 from repro.simulation.executor import JustInTimeExecutor, StaticScheduleExecutor
 from repro.simulation.trace import ExecutionTrace
-from repro.workflow.costs import CostModel
+from repro.workflow.costs import CostModel, ErrorModel, PerturbedCostModel
 from repro.workflow.dag import Workflow
 
 __all__ = [
@@ -48,6 +50,7 @@ __all__ = [
     "AdaptiveReschedulingLoop",
     "apply_departure_kills",
     "describe_pool_event",
+    "project_actuals",
     "repair_schedule",
     "run_static",
     "run_adaptive",
@@ -201,6 +204,10 @@ class AdaptiveReschedulingLoop:
         events: Optional[Sequence[PoolEvent]] = None,
         strategy_name: Optional[str] = None,
         perf_profile=None,
+        actual_costs: Optional[CostModel] = None,
+        predictor: Optional[Predictor] = None,
+        observe: bool = True,
+        replan_on_deviation: Optional[float] = 0.1,
     ) -> AdaptiveRunResult:
         """Plan, then react to every event until the workflow finishes.
 
@@ -225,7 +232,47 @@ class AdaptiveReschedulingLoop:
           :func:`repair_schedule`) so the accept rule compares the candidate
           against an honest baseline, and the candidate itself is planned
           with the degraded cost model.
+
+        With ``actual_costs`` (a sampled ground truth, typically a
+        :class:`~repro.workflow.costs.PerturbedCostModel`) and/or a
+        ``predictor`` the loop leaves the accurate-estimation regime and
+        closes the paper's Fig. 1 feedback cycle instead — see
+        :meth:`_run_uncertain`.
         """
+        if actual_costs is None and predictor is None:
+            return self._run_analytic(
+                workflow,
+                costs,
+                pool,
+                events=events,
+                strategy_name=strategy_name,
+                perf_profile=perf_profile,
+            )
+        return self._run_uncertain(
+            workflow,
+            costs,
+            pool,
+            events=events,
+            strategy_name=strategy_name,
+            perf_profile=perf_profile,
+            actual_costs=actual_costs,
+            predictor=predictor,
+            observe=observe,
+            replan_on_deviation=replan_on_deviation,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_analytic(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        pool: ResourcePool,
+        *,
+        events: Optional[Sequence[PoolEvent]],
+        strategy_name: Optional[str],
+        perf_profile,
+    ) -> AdaptiveRunResult:
+        """The paper's analytic loop: actual durations equal the estimates."""
         initial_resources = pool.available_at(0.0)
         if not initial_resources:
             raise ValueError("no resources available at time 0")
@@ -235,25 +282,9 @@ class AdaptiveReschedulingLoop:
         wasted = 0.0
         killed_jobs: set = set()
 
-        pool_events = list(events) if events is not None else pool.events()
-        # pool.events() aggregates per time point already, but events= is a
-        # public parameter: merge same-time entries instead of dropping them
-        triggers: Dict[float, Optional[PoolEvent]] = {}
-        for event in pool_events:
-            existing = triggers.get(event.time)
-            if existing is None:
-                triggers[event.time] = event
-            else:
-                triggers[event.time] = PoolEvent(
-                    time=event.time,
-                    added=tuple(sorted({*existing.added, *event.added})),
-                    removed=tuple(sorted({*existing.removed, *event.removed})),
-                )
-        perf_times = set()
-        if perf_profile is not None:
-            perf_times = set(perf_profile.change_times())
-            for time in perf_times:
-                triggers.setdefault(time, None)
+        triggers, perf_times = _merge_triggers(
+            list(events) if events is not None else pool.events(), perf_profile
+        )
 
         for clock in sorted(triggers):
             event = triggers[clock]
@@ -314,6 +345,363 @@ class AdaptiveReschedulingLoop:
             initial_schedule=initial,
             final_schedule=current,
             decisions=decisions,
+            killed_jobs=len(killed_jobs),
+            planned_wasted_work=wasted,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_uncertain(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        pool: ResourcePool,
+        *,
+        events: Optional[Sequence[PoolEvent]],
+        strategy_name: Optional[str],
+        perf_profile,
+        actual_costs: Optional[CostModel],
+        predictor: Optional[Predictor],
+        observe: bool,
+        replan_on_deviation: Optional[float],
+    ) -> AdaptiveRunResult:
+        """The Fig. 1 loop under *inaccurate* estimates.
+
+        The Planner keeps planning on estimates (optionally re-estimated by
+        the ``predictor`` from accumulated history), while the simulated
+        grid executes the adopted bookings with the sampled ground-truth
+        durations of ``actual_costs``.  Bookings are *reservations*: a job
+        never starts before its booked start, and deviations push it (and
+        its successors, and everything queued behind it on the resource)
+        later — with a null error model the replay therefore reproduces the
+        analytic loop bit for bit.
+
+        At every trigger (pool change or performance change) the loop:
+
+        1. advances the ground truth to the trigger time, committing actual
+           starts/finishes (the Performance Monitor's report);
+        2. records each newly finished job's observed duration in the
+           predictor's history repository (Fig. 1: Scheduler → Performance
+           History Repository);
+        3. applies departure kills against the *actual* execution state;
+        4. re-estimates the cost matrix via the predictor (history-blended
+           prior) and the performance profile;
+        5. syncs the belief plan with the observed facts and, when anything
+           deviated, repairs its remaining timings under the re-estimated
+           model so the accept rule has an honest baseline;
+        6. asks the scheduler for a candidate and applies the usual
+           accept-if-better (or forced) rule.
+
+        Beyond the grid events, ``replan_on_deviation`` arms the monitor's
+        own trigger: when a job's observed completion deviates from its
+        booked one by more than the given fraction of its booked duration,
+        the Planner re-evaluates at that completion instant (an extra
+        decision with event label ``"deviation"``).  This is how the
+        adaptive strategy *absorbs* estimate error between grid events —
+        without it, accumulated delays would just push the reservation
+        timeline back.  Zero noise produces zero deviations, so the trigger
+        never fires on accurate estimates and bit-identity with the
+        analytic loop is preserved.  ``None`` disables it.
+
+        The returned result carries an :class:`ExecutionTrace` of the
+        actual execution, so ``result.makespan`` is the achieved (not the
+        predicted) makespan.
+        """
+        initial_resources = pool.available_at(0.0)
+        if not initial_resources:
+            raise ValueError("no resources available at time 0")
+        truth = actual_costs if actual_costs is not None else costs
+        history = predictor.history if predictor is not None else None
+
+        def estimated(clock: float) -> CostModel:
+            model = costs
+            if predictor is not None:
+                model = predictor.estimate(costs)
+            if perf_profile is not None:
+                model = perf_profile.scaled_costs(model, clock)
+            return model
+
+        current = self.scheduler.schedule(workflow, estimated(0.0), initial_resources)
+        initial = current
+        decisions: List[ReschedulingDecision] = []
+        wasted = 0.0
+        killed_jobs: set = set()
+        name = strategy_name or getattr(self.scheduler, "name", "adaptive")
+        trace = ExecutionTrace(workflow_name=workflow.name, strategy=name)
+
+        job_index = {job: i for i, job in enumerate(workflow.jobs)}
+        #: ground truth of every job that has started (running or finished)
+        truth_assign: Dict[str, Assignment] = {}
+        finished: set = set()
+        recorded: set = set()
+
+        def record_observation(assignment: Assignment) -> None:
+            """Report a completed execution to the history repository.
+
+            The observed wall-clock duration is normalised by the (known)
+            performance factor at dispatch, so the history isolates the
+            *estimate error* from the slowdown the profile already told the
+            Planner about — otherwise the predictor would double-count
+            degradations it replans around anyway.
+            """
+            if history is None or not observe or assignment.job_id in recorded:
+                return
+            duration = assignment.finish - assignment.start
+            if perf_profile is not None:
+                factor = perf_profile.factor_at(
+                    assignment.resource_id, assignment.start
+                )
+                if factor != 1.0:
+                    duration /= factor
+            history.record_execution(
+                workflow.job(assignment.job_id).operation,
+                assignment.resource_id,
+                duration,
+                job_id=assignment.job_id,
+                finished_at=assignment.finish,
+                estimated=costs.computation_cost(
+                    assignment.job_id, assignment.resource_id
+                ),
+            )
+            recorded.add(assignment.job_id)
+
+        def project(plan: Schedule) -> Dict[str, Assignment]:
+            return project_actuals(
+                workflow,
+                plan,
+                truth_assign,
+                truth,
+                perf_profile=perf_profile,
+            )
+
+        def commit(projection: Dict[str, Assignment], clock: float) -> None:
+            """Advance the ground truth to ``clock`` (the monitor's report)."""
+            started = [
+                a for a in projection.values()
+                if a.job_id not in truth_assign and a.start <= clock + TIME_EPS
+            ]
+            started.sort(key=lambda a: (a.start, a.finish, job_index[a.job_id]))
+            for assignment in started:
+                truth_assign[assignment.job_id] = assignment
+            newly_finished = [
+                a for job, a in truth_assign.items()
+                if job not in finished and a.finish <= clock + TIME_EPS
+            ]
+            newly_finished.sort(key=lambda a: (a.finish, a.start, job_index[a.job_id]))
+            for assignment in newly_finished:
+                finished.add(assignment.job_id)
+                record_observation(assignment)
+
+        def snapshot(clock: float) -> ExecutionState:
+            """The actual execution state at ``clock`` (mirrors
+            :meth:`ExecutionState.from_schedule` conventions exactly)."""
+            state = ExecutionState(clock=float(clock))
+            for job in workflow.jobs:
+                assignment = truth_assign.get(job)
+                if assignment is None:
+                    state.status[job] = JobStatus.NOT_STARTED
+                    continue
+                state.executed_on[job] = assignment.resource_id
+                state.actual_start[job] = assignment.start
+                if job in finished:
+                    state.status[job] = JobStatus.FINISHED
+                    state.actual_finish[job] = assignment.finish
+                    state.data_arrivals[(job, assignment.resource_id)] = assignment.finish
+                else:
+                    state.status[job] = JobStatus.RUNNING
+            return state
+
+        def sync_belief(plan: Schedule, state: ExecutionState) -> tuple:
+            """Substitute observed facts into the plan; never re-time futures.
+
+            Returns ``(synced, changed)`` where ``changed`` flags any
+            deviation between the plan and the observed actuals.  A running
+            job keeps its *booked duration* shifted to its actual start
+            (speed frozen at dispatch, estimate unchanged), floored at the
+            clock — the planner knows an overdue job cannot finish in the
+            past.
+            """
+            synced = Schedule(name=plan.name)
+            changed = False
+            clock = state.clock
+            for job in workflow.jobs:
+                booked = plan.get(job)
+                if state.is_finished(job):
+                    actual = Assignment(
+                        job,
+                        state.executed_on[job],
+                        state.actual_start[job],
+                        state.actual_finish[job],
+                    )
+                    synced.add(actual)
+                    if (
+                        booked is None
+                        or booked.resource_id != actual.resource_id
+                        or booked.start != actual.start
+                        or booked.finish != actual.finish
+                    ):
+                        changed = True
+                elif state.is_running(job):
+                    rid = state.executed_on[job]
+                    start = state.actual_start[job]
+                    if booked is not None and booked.resource_id == rid:
+                        if start == booked.start:
+                            belief_finish = booked.finish
+                        else:
+                            belief_finish = start + (booked.finish - booked.start)
+                            changed = True
+                    else:
+                        belief_finish = start + estimated(clock).computation_cost(job, rid)
+                        changed = True
+                    belief_finish = max(belief_finish, clock)
+                    synced.add(Assignment(job, rid, start, belief_finish))
+                elif booked is not None:
+                    synced.add(booked)
+            return synced, changed
+
+        triggers, perf_times = _merge_triggers(
+            list(events) if events is not None else pool.events(), perf_profile
+        )
+
+        def next_deviation(projection: Dict[str, Assignment], after: float) -> Optional[float]:
+            """Earliest future completion deviating beyond the threshold.
+
+            The monitor learns a job's actual duration when it completes;
+            a completion whose time differs from the current plan's booked
+            finish by more than ``replan_on_deviation`` of the booked
+            duration is an event of interest.  Only completions strictly
+            after ``after`` (the last processed trigger) can still fire.
+            """
+            if replan_on_deviation is None:
+                return None
+            earliest: Optional[float] = None
+            for job, actual in list(truth_assign.items()) + list(projection.items()):
+                if actual.finish <= after + TIME_EPS:
+                    continue
+                booked = current.get(job)
+                if booked is None:
+                    continue
+                slack = replan_on_deviation * max(booked.duration, TIME_EPS)
+                if abs(actual.finish - booked.finish) <= slack:
+                    continue
+                if earliest is None or actual.finish < earliest:
+                    earliest = actual.finish
+            return earliest
+
+        static_times = sorted(triggers)
+        static_index = 0
+        last_clock = float("-inf")
+        projection = project(current)
+        while True:
+            completion = max(
+                [a.finish for a in truth_assign.values()]
+                + [a.finish for a in projection.values()],
+                default=0.0,
+            )
+            next_static = (
+                static_times[static_index]
+                if static_index < len(static_times)
+                else None
+            )
+            deviation_at = next_deviation(projection, last_clock)
+            if deviation_at is not None and (
+                next_static is None or deviation_at < next_static - TIME_EPS
+            ):
+                clock = deviation_at
+                event = None
+                is_deviation = True
+            elif next_static is not None:
+                clock = next_static
+                event = triggers[clock]
+                is_deviation = False
+                static_index += 1
+            else:
+                break  # no further events of interest
+            if clock >= completion - TIME_EPS:
+                break  # the workflow actually finished before this event
+            last_clock = clock
+            resources = pool.available_at(clock)
+            if not resources:
+                continue
+            commit(projection, clock)
+            state = snapshot(clock)
+
+            removed_set = frozenset(event.removed) if event is not None else frozenset()
+            wasted_delta, killed, forced = apply_departure_kills(
+                workflow, current, state, removed_set
+            )
+            wasted += wasted_delta
+            killed_jobs |= killed
+            for job in sorted(killed, key=job_index.__getitem__):
+                killed_assignment = truth_assign.pop(job)
+                trace.record_kill(
+                    job, killed_assignment.resource_id, killed_assignment.start, clock
+                )
+
+            effective = estimated(clock)
+            synced, changed = sync_belief(current, state)
+            if changed or clock in perf_times:
+                current = repair_schedule(
+                    workflow,
+                    synced if changed else current,
+                    state,
+                    effective,
+                    clock=clock,
+                    resources=resources,
+                )
+
+            candidate = self.scheduler.reschedule(
+                workflow,
+                effective,
+                resources,
+                clock=clock,
+                previous_schedule=current,
+                execution_state=state,
+            )
+            adopt = (
+                forced
+                or not self.accept_only_if_better
+                or candidate.makespan() < current.makespan() - self.epsilon
+            )
+            if event is not None:
+                label = describe_pool_event(event)
+            else:
+                label = "deviation" if is_deviation else "perf-change"
+            decisions.append(
+                ReschedulingDecision(
+                    time=clock,
+                    event=label,
+                    previous_makespan=current.makespan(),
+                    candidate_makespan=candidate.makespan(),
+                    adopted=adopt,
+                    forced=forced,
+                )
+            )
+            if adopt:
+                current = candidate
+            projection = project(current)
+
+        # drain: the remaining projection is the actual tail of the run
+        for assignment in projection.values():
+            truth_assign.setdefault(assignment.job_id, assignment)
+        remaining = [
+            a for job, a in truth_assign.items()
+            if job not in finished
+        ]
+        remaining.sort(key=lambda a: (a.finish, a.start, job_index[a.job_id]))
+        for assignment in remaining:
+            finished.add(assignment.job_id)
+            record_observation(assignment)
+        for job in workflow.jobs:
+            assignment = truth_assign[job]
+            trace.record_job(
+                job, assignment.resource_id, assignment.start, assignment.finish
+            )
+        return AdaptiveRunResult(
+            strategy=name,
+            initial_schedule=initial,
+            final_schedule=current,
+            decisions=decisions,
+            trace=trace,
             killed_jobs=len(killed_jobs),
             planned_wasted_work=wasted,
         )
@@ -409,6 +797,122 @@ def repair_schedule(
     return repaired
 
 
+def _merge_triggers(
+    pool_events: Sequence[PoolEvent], perf_profile
+) -> tuple:
+    """Merge pool events and perf-change times into one trigger map.
+
+    ``pool.events()`` aggregates per time point already, but callers may
+    pass their own event list, so same-time entries are merged instead of
+    dropped.  Returns ``(triggers, perf_times)`` where ``triggers`` maps
+    time to an optional :class:`PoolEvent` (``None`` marks a pure
+    performance change).
+    """
+    triggers: Dict[float, Optional[PoolEvent]] = {}
+    for event in pool_events:
+        existing = triggers.get(event.time)
+        if existing is None:
+            triggers[event.time] = event
+        else:
+            triggers[event.time] = PoolEvent(
+                time=event.time,
+                added=tuple(sorted({*existing.added, *event.added})),
+                removed=tuple(sorted({*existing.removed, *event.removed})),
+            )
+    perf_times = set()
+    if perf_profile is not None:
+        perf_times = set(perf_profile.change_times())
+        for time in perf_times:
+            triggers.setdefault(time, None)
+    return triggers, perf_times
+
+
+def project_actuals(
+    workflow: Workflow,
+    plan: Schedule,
+    started: Dict[str, Assignment],
+    actual_costs: CostModel,
+    *,
+    perf_profile=None,
+) -> Dict[str, Assignment]:
+    """Replay a plan's not-yet-started jobs under ground-truth durations.
+
+    Bookings are treated as *reservations*: a job starts at its booked
+    start, pushed later if its resource is still busy (the previous booking
+    overran) or its inputs have not arrived yet (a predecessor overran).
+    Its actual duration is ``actual_costs.computation_cost(job, rid)``
+    scaled by the resource's performance factor at the actual start (speed
+    frozen at dispatch, matching the simulation executors).  With accurate
+    actual costs the replay reproduces the plan bit for bit — the zero-noise
+    differential guarantee.
+
+    ``started`` holds the ground truth of every job already dispatched
+    (running or finished); those assignments are taken as facts.  Returns
+    the actual :class:`~repro.scheduling.base.Assignment` of every other
+    job in the plan.
+
+    Per-resource execution order is the plan's booking order; a job only
+    starts once every predecessor's output has arrived (transfer priced by
+    the actual model, which delegates communication to the estimates).  The
+    combined (resource-order + precedence) relation of a feasible plan is
+    acyclic, so the fixed-point pass below always terminates with every job
+    placed.
+    """
+    free: Dict[str, float] = {}
+    for assignment in started.values():
+        rid = assignment.resource_id
+        if assignment.finish > free.get(rid, 0.0):
+            free[rid] = assignment.finish
+    queues: Dict[str, List[Assignment]] = {}
+    pending = 0
+    for rid in plan.resources_used():
+        queue = [a for a in plan.assignments_on(rid) if a.job_id not in started]
+        if queue:
+            queues[rid] = queue
+            pending += len(queue)
+    projected: Dict[str, Assignment] = {}
+
+    progress = True
+    while pending and progress:
+        progress = False
+        for rid in sorted(queues):
+            queue = queues[rid]
+            while queue:
+                booked = queue[0]
+                job = booked.job_id
+                preds = workflow.predecessors(job)
+                resolved = True
+                ready = max(booked.start, free.get(rid, 0.0))
+                for pred in preds:
+                    pred_actual = started.get(pred) or projected.get(pred)
+                    if pred_actual is None:
+                        resolved = False
+                        break
+                    transfer = actual_costs.communication_cost(
+                        pred, job, pred_actual.resource_id, rid
+                    )
+                    arrival = pred_actual.finish + transfer
+                    if arrival > ready:
+                        ready = arrival
+                if not resolved:
+                    break
+                duration = actual_costs.computation_cost(job, rid)
+                if perf_profile is not None:
+                    duration *= perf_profile.factor_at(rid, ready)
+                actual = Assignment(job, rid, ready, ready + duration)
+                projected[job] = actual
+                free[rid] = actual.finish
+                queue.pop(0)
+                pending -= 1
+                progress = True
+    if pending:
+        stalled = sorted(a.job_id for queue in queues.values() for a in queue)
+        raise ValueError(
+            f"actual-duration replay stalled; unplaced jobs: {stalled[:10]}"
+        )
+    return projected
+
+
 def describe_pool_event(event: PoolEvent) -> str:
     """Human-readable ``+joined -left`` rendering of a pool event."""
     parts = []
@@ -429,6 +933,19 @@ def _pool_has_departures(pool: ResourcePool) -> bool:
     )
 
 
+def _resolve_actual_costs(
+    costs: CostModel,
+    actual_costs: Optional[CostModel],
+    error_model: Optional[ErrorModel],
+) -> Optional[CostModel]:
+    """The ground-truth model of a run: explicit override or sampled truth."""
+    if actual_costs is not None:
+        return actual_costs
+    if error_model is not None:
+        return PerturbedCostModel(costs, error_model)
+    return None
+
+
 def run_static(
     workflow: Workflow,
     costs: CostModel,
@@ -436,6 +953,8 @@ def run_static(
     *,
     scheduler: Optional[HEFTScheduler] = None,
     actual_costs: Optional[CostModel] = None,
+    error_model: Optional[ErrorModel] = None,
+    history: Optional[PerformanceHistoryRepository] = None,
     simulate: bool = False,
     perf_profile=None,
     departure_policy: str = "failover",
@@ -448,17 +967,24 @@ def run_static(
     used directly, which is identical under accurate estimates.  Pools with
     departures and non-trivial performance profiles force the simulation:
     the planned makespan is a fiction once resources can leave or slow down
-    mid-run.
+    mid-run.  ``error_model`` samples a stochastic ground truth around the
+    estimates (see :class:`~repro.workflow.costs.ErrorModel`); observed
+    executions are reported to the optional ``history`` repository — the
+    static strategy never replans, so the history only benefits later runs.
     """
     scheduler = scheduler or HEFTScheduler()
     initial_resources = pool.available_at(0.0)
     if not initial_resources:
         raise ValueError("no resources available at time 0")
     schedule = scheduler.schedule(workflow, costs, initial_resources)
+    actual_costs = _resolve_actual_costs(costs, actual_costs, error_model)
     trace = None
     needs_simulation = (
         simulate
         or actual_costs is not None
+        # a supplied history wants observations, which only the executor's
+        # Performance Monitor produces
+        or history is not None
         or (perf_profile is not None and not getattr(perf_profile, "is_trivial", False))
         or _pool_has_departures(pool)
     )
@@ -472,6 +998,7 @@ def run_static(
             strategy_name=getattr(scheduler, "name", "static"),
             perf_profile=perf_profile,
             departure_policy=departure_policy,
+            history=history,
         )
         trace = executor.run()
     return AdaptiveRunResult(
@@ -491,12 +1018,59 @@ def run_adaptive(
     scheduler: Optional[AHEFTScheduler] = None,
     accept_only_if_better: bool = True,
     perf_profile=None,
+    actual_costs: Optional[CostModel] = None,
+    error_model: Optional[ErrorModel] = None,
+    history: Optional[PerformanceHistoryRepository] = None,
+    feedback: bool = True,
+    blend: float = 1.0,
+    predictor_mode: str = "ratio",
+    replan_on_deviation: Optional[float] = 0.1,
 ) -> AdaptiveRunResult:
-    """AHEFT adaptive rescheduling reacting to every pool/performance change."""
+    """AHEFT adaptive rescheduling reacting to every pool/performance change.
+
+    ``error_model`` (or an explicit ``actual_costs`` truth model) switches
+    the loop into the estimate-error regime: adopted bookings execute with
+    sampled ground-truth durations, observed actuals are recorded into
+    ``history`` (a fresh repository when not supplied), and — with
+    ``feedback`` (default) — each replan re-estimates the cost matrix via
+    the :class:`~repro.core.predictor.Predictor` before calling AHEFT,
+    closing the paper's Fig. 1 loop.  ``predictor_mode`` selects the
+    re-estimation semantics (``"ratio"`` learns multiplicative per-resource
+    corrections — the default, exact for systematic resource bias;
+    ``"absolute"`` overrides per-operation durations).
+    ``replan_on_deviation`` additionally triggers a re-evaluation whenever
+    an observed completion misses its booking by the given fraction of the
+    booked duration (``None`` limits replanning to grid events, as in the
+    analytic loop).
+    """
     loop = AdaptiveReschedulingLoop(
         scheduler or AHEFTScheduler(), accept_only_if_better=accept_only_if_better
     )
-    return loop.run(workflow, costs, pool, perf_profile=perf_profile)
+    explicit_truth = actual_costs is not None
+    actual_costs = _resolve_actual_costs(costs, actual_costs, error_model)
+    # A *null* error model means the estimates are the truth: there is
+    # nothing for the history to teach, so re-estimation stays off and the
+    # run is bit-identical to the analytic loop.  (Re-estimating anyway
+    # would still change plans: observations aggregate per operation, which
+    # differs from the per-job priors even with zero noise.)  An explicitly
+    # supplied history or truth model opts back in.
+    noisy_truth = explicit_truth or (error_model is not None and not error_model.is_null)
+    predictor = None
+    if feedback and (noisy_truth or history is not None):
+        predictor = Predictor(
+            history if history is not None else PerformanceHistoryRepository(),
+            blend=blend,
+            mode=predictor_mode,
+        )
+    return loop.run(
+        workflow,
+        costs,
+        pool,
+        perf_profile=perf_profile,
+        actual_costs=actual_costs,
+        predictor=predictor,
+        replan_on_deviation=replan_on_deviation,
+    )
 
 
 def run_dynamic(
@@ -506,6 +1080,8 @@ def run_dynamic(
     *,
     mapper=None,
     actual_costs: Optional[CostModel] = None,
+    error_model: Optional[ErrorModel] = None,
+    history: Optional[PerformanceHistoryRepository] = None,
     perf_profile=None,
 ) -> AdaptiveRunResult:
     """Dynamic just-in-time strategy executed on the event simulator."""
@@ -514,8 +1090,9 @@ def run_dynamic(
         costs,
         pool,
         mapper=mapper or MinMinScheduler(),
-        actual_costs=actual_costs,
+        actual_costs=_resolve_actual_costs(costs, actual_costs, error_model),
         perf_profile=perf_profile,
+        history=history,
     )
     trace = executor.run()
     schedule = trace.to_schedule()

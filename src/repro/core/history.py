@@ -21,17 +21,28 @@ __all__ = ["PerformanceRecord", "PerformanceHistoryRepository"]
 
 @dataclass(frozen=True)
 class PerformanceRecord:
-    """One observed job execution."""
+    """One observed job execution.
+
+    ``estimated`` optionally carries the Planner's prior estimate for this
+    execution at observation time; ratio-mode re-estimation
+    (:class:`~repro.core.predictor.RatioAdjustedCostModel`) prefers it
+    because it makes the observed/estimated ratio self-contained — job
+    identifiers are not unique across workflows, so dividing by the
+    *current* workflow's estimate would mis-price foreign observations.
+    """
 
     operation: str
     resource_id: str
     duration: float
     job_id: str = ""
     finished_at: float = 0.0
+    estimated: float = 0.0
 
     def __post_init__(self) -> None:
         if self.duration < 0:
             raise ValueError("duration must be non-negative")
+        if self.estimated < 0:
+            raise ValueError("estimated must be non-negative")
 
 
 class PerformanceHistoryRepository:
@@ -70,6 +81,7 @@ class PerformanceHistoryRepository:
         *,
         job_id: str = "",
         finished_at: float = 0.0,
+        estimated: float = 0.0,
     ) -> None:
         """Convenience wrapper building the :class:`PerformanceRecord`."""
         self.record(
@@ -79,6 +91,7 @@ class PerformanceHistoryRepository:
                 duration=duration,
                 job_id=job_id,
                 finished_at=finished_at,
+                estimated=estimated,
             )
         )
 

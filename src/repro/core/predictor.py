@@ -5,14 +5,27 @@ description claims about job costs) with the Performance History Repository
 (what has actually been observed) to produce the estimates the Scheduler
 plans with.  With an empty history the Predictor returns the prior
 unchanged — which, under the paper's accurate-estimation assumption, is the
-common case in the headline experiments.  When history exists, per
-(operation, resource) observations override the prior, optionally blended.
+common case in the headline experiments.
+
+Two re-estimation modes are provided:
+
+* **absolute** (:class:`HistoryAdjustedCostModel`) — per (operation,
+  resource) observations override the prior duration, optionally blended.
+  Right when jobs of one operation are interchangeable (the application
+  DAGs: every BLAST worker does the same work).
+* **ratio** (:class:`RatioAdjustedCostModel`) — the history calibrates a
+  multiplicative *correction factor* per resource (mean of
+  observed/estimated over that resource's completed jobs) and the prior is
+  scaled by it.  Right for heterogeneous job populations, where absolute
+  durations do not transfer between jobs but systematic resource bias
+  (obsolete benchmarks, misreported speeds) does.  This is the mode the
+  uncertainty engine replans with.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -20,7 +33,7 @@ from repro.core.history import PerformanceHistoryRepository
 from repro.workflow.costs import CostModel
 from repro.workflow.dag import Workflow
 
-__all__ = ["HistoryAdjustedCostModel", "Predictor"]
+__all__ = ["HistoryAdjustedCostModel", "RatioAdjustedCostModel", "Predictor"]
 
 
 class HistoryAdjustedCostModel(CostModel):
@@ -87,6 +100,118 @@ class HistoryAdjustedCostModel(CostModel):
         return self.prior.has_uniform_communication
 
 
+class RatioAdjustedCostModel(CostModel):
+    """A cost model scaling the prior by observed/estimated ratios.
+
+    For every resource with observations, the correction factor is the
+    *shrunk* mean of ``observed_duration / prior_estimate`` over that
+    resource's recorded executions (jobs whose prior estimate is near zero
+    are skipped): ``ratio = (Σ rᵢ + k) / (n + k)`` with ``prior_strength``
+    ``k`` pseudo-observations of 1.0.  The estimate is then
+    ``prior · (blend · ratio + (1 − blend) · 1)``: ``blend = 1`` applies
+    the learned correction fully, ``blend = 0`` keeps the prior.
+    Resources without history keep the prior unchanged, and so does every
+    communication query.
+
+    Because corrections are multiplicative, the model converges to the
+    exact factor for systematic per-resource bias (a machine consistently
+    1.4× slower than advertised is re-estimated as 1.4× slower for *every*
+    job), while the shrinkage keeps it from chasing independent zero-mean
+    noise — one or two unlucky observations must not make the Planner
+    abandon a perfectly good resource.
+    """
+
+    def __init__(
+        self,
+        prior: CostModel,
+        history: PerformanceHistoryRepository,
+        *,
+        blend: float = 1.0,
+        prior_strength: float = 2.0,
+    ) -> None:
+        if not 0 <= blend <= 1:
+            raise ValueError("blend must be in [0, 1]")
+        if prior_strength < 0:
+            raise ValueError("prior_strength must be non-negative")
+        self.workflow: Workflow = prior.workflow
+        self.prior = prior
+        self.history = history
+        self.blend = float(blend)
+        self.prior_strength = float(prior_strength)
+        #: per-resource ratio memo, valid while the history does not grow
+        self._ratio_cache: Dict[str, float] = {}
+        self._ratio_stamp = -1
+
+    def resource_ratio(self, resource_id: str) -> float:
+        """The learned correction factor of one resource (1.0 = no history)."""
+        stamp = len(self.history)
+        if stamp != self._ratio_stamp:
+            self._ratio_cache.clear()
+            self._ratio_stamp = stamp
+        cached = self._ratio_cache.get(resource_id)
+        if cached is not None:
+            return cached
+        ratios = []
+        for record in self.history.records:
+            if record.resource_id != resource_id:
+                continue
+            if record.estimated > 1e-12:
+                # self-contained observation: the monitor stored the prior
+                # estimate at observation time (robust across workflows)
+                ratios.append(record.duration / record.estimated)
+                continue
+            # legacy/hand-recorded observation: divide by the current
+            # workflow's estimate, but only when the record demonstrably
+            # refers to this workflow's job (ids recur across generated
+            # DAGs, so an operation mismatch marks a foreign record)
+            if not record.job_id or record.job_id not in self.workflow:
+                continue
+            if self.workflow.job(record.job_id).operation != record.operation:
+                continue
+            estimate = self.prior.computation_cost(record.job_id, resource_id)
+            if estimate <= 1e-12:
+                continue
+            ratios.append(record.duration / estimate)
+        if ratios:
+            # shrunk mean: prior_strength pseudo-observations of ratio 1.0
+            ratio = (float(np.sum(ratios)) + self.prior_strength) / (
+                len(ratios) + self.prior_strength
+            )
+        else:
+            ratio = 1.0
+        self._ratio_cache[resource_id] = ratio
+        return ratio
+
+    def _corrected(self, estimate: float, resource_id: str) -> float:
+        ratio = self.resource_ratio(resource_id)
+        if ratio == 1.0:
+            return estimate
+        return estimate * (self.blend * ratio + (1.0 - self.blend))
+
+    def computation_cost(self, job_id: str, resource_id: str) -> float:
+        return self._corrected(
+            self.prior.computation_cost(job_id, resource_id), resource_id
+        )
+
+    def intrinsic_average_computation_cost(self, job_id: str) -> float:
+        return self.prior.intrinsic_average_computation_cost(job_id)
+
+    def communication_cost(
+        self, src: str, dst: str, src_resource: str, dst_resource: str
+    ) -> float:
+        return self.prior.communication_cost(src, dst, src_resource, dst_resource)
+
+    def average_communication_cost(self, src: str, dst: str) -> float:
+        return self.prior.average_communication_cost(src, dst)
+
+    @property
+    def has_uniform_communication(self) -> bool:
+        # communication delegates to the prior; computation stays uncached
+        # (default ``cache_token() is None``) because the history grows
+        # between calls without the workflow mutating.
+        return self.prior.has_uniform_communication
+
+
 @dataclass
 class Predictor:
     """Builds the estimation matrix ``P = estimate(T, R)`` of paper Fig. 2.
@@ -97,15 +222,29 @@ class Predictor:
         The Performance History Repository shared with the Planner.
     blend:
         How strongly observations override the prior (1 = replace).
+    mode:
+        ``"absolute"`` (per-operation override,
+        :class:`HistoryAdjustedCostModel`) or ``"ratio"`` (per-resource
+        multiplicative correction, :class:`RatioAdjustedCostModel`).
     """
 
     history: PerformanceHistoryRepository
     blend: float = 1.0
+    mode: str = "absolute"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("absolute", "ratio"):
+            raise ValueError(
+                f"unknown predictor mode {self.mode!r}; "
+                "choose 'absolute' or 'ratio'"
+            )
 
     def estimate(self, prior: CostModel) -> CostModel:
         """Return the cost model the Scheduler should plan with."""
         if len(self.history) == 0 or self.blend == 0:
             return prior
+        if self.mode == "ratio":
+            return RatioAdjustedCostModel(prior, self.history, blend=self.blend)
         return HistoryAdjustedCostModel(prior, self.history, blend=self.blend)
 
     def estimation_matrix(

@@ -4,8 +4,10 @@
 * :mod:`~repro.experiments.runner` — run one case under the three
   strategies (static HEFT, adaptive AHEFT, dynamic Min-Min),
 * :mod:`~repro.experiments.sweep` — parameter sweeps and aggregation,
-* :mod:`~repro.experiments.metrics` — makespan, improvement rate, SLR,
-  speedup, utilisation,
+* :mod:`~repro.experiments.uncertainty` — Monte Carlo replication over
+  stochastic ground-truth runtimes (the estimate-error dimension),
+* :mod:`~repro.experiments.metrics` — makespan, improvement rate, CI95,
+  SLR, speedup, utilisation,
 * :mod:`~repro.experiments.reporting` — plain-text tables and series that
   mirror the paper's tables and figures.
 """
@@ -44,6 +46,12 @@ from repro.experiments.multi_tenant import (
     TenantMetrics,
     run_multi_tenant_case,
 )
+from repro.experiments.uncertainty import (
+    ReplicationSummary,
+    UncertaintyPoint,
+    run_replicated,
+    sweep_uncertainty,
+)
 from repro.experiments.reporting import (
     format_table,
     render_improvement_table,
@@ -51,6 +59,7 @@ from repro.experiments.reporting import (
     render_case_results,
     render_scenario_matrix,
     render_multi_tenant_matrix,
+    render_uncertainty_matrix,
 )
 
 __all__ = [
@@ -83,10 +92,15 @@ __all__ = [
     "MultiTenantConfig",
     "TenantMetrics",
     "run_multi_tenant_case",
+    "ReplicationSummary",
+    "UncertaintyPoint",
+    "run_replicated",
+    "sweep_uncertainty",
     "format_table",
     "render_improvement_table",
     "render_series",
     "render_case_results",
     "render_scenario_matrix",
     "render_multi_tenant_matrix",
+    "render_uncertainty_matrix",
 ]

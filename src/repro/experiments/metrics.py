@@ -85,32 +85,70 @@ def improvement_rate(baseline: float, improved: float) -> float:
 
 @dataclass(frozen=True)
 class MakespanStatistics:
-    """Summary statistics over a set of makespans."""
+    """Summary statistics over a set of makespans.
+
+    ``ci95_low``/``ci95_high`` bound the normal-approximation 95% confidence
+    interval of the mean (``mean ± 1.96 · s/√n`` with the sample standard
+    deviation ``s``); with fewer than two samples the interval collapses to
+    the mean.  ``std`` stays the population standard deviation for backward
+    compatibility with the existing ledgers.
+    """
 
     count: int
     mean: float
     std: float
     minimum: float
     maximum: float
+    ci95_low: float = 0.0
+    ci95_high: float = 0.0
+
+    @property
+    def ci95_half(self) -> float:
+        """Half-width of the 95% confidence interval of the mean."""
+        return (self.ci95_high - self.ci95_low) / 2.0
 
     def __str__(self) -> str:  # pragma: no cover - formatting
         return (
             f"n={self.count}, mean={self.mean:.1f}, std={self.std:.1f}, "
-            f"min={self.minimum:.1f}, max={self.maximum:.1f}"
+            f"min={self.minimum:.1f}, max={self.maximum:.1f}, "
+            f"ci95=[{self.ci95_low:.1f}, {self.ci95_high:.1f}]"
         )
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly form for the benchmark ledgers."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "ci95_low": self.ci95_low,
+            "ci95_high": self.ci95_high,
+        }
+
+
+#: normal-approximation z for a two-sided 95% confidence interval
+_Z_95 = 1.959963984540054
 
 
 def makespan_statistics(makespans: Sequence[float]) -> MakespanStatistics:
-    """Summarise a collection of makespans."""
+    """Summarise a collection of makespans (or any replicated metric)."""
     if not makespans:
         return MakespanStatistics(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
     array = np.asarray(list(makespans), dtype=float)
+    mean = float(array.mean())
+    if array.size > 1:
+        half = _Z_95 * float(array.std(ddof=1)) / float(np.sqrt(array.size))
+    else:
+        half = 0.0
     return MakespanStatistics(
         count=int(array.size),
-        mean=float(array.mean()),
+        mean=mean,
         std=float(array.std()),
         minimum=float(array.min()),
         maximum=float(array.max()),
+        ci95_low=mean - half,
+        ci95_high=mean + half,
     )
 
 

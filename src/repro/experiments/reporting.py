@@ -11,6 +11,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments.runner import CaseResult
 from repro.experiments.sweep import MultiWorkflowPoint, ScenarioPoint, SweepPoint
+from repro.experiments.uncertainty import UncertaintyPoint
 
 __all__ = [
     "format_table",
@@ -19,6 +20,7 @@ __all__ = [
     "render_case_results",
     "render_scenario_matrix",
     "render_multi_tenant_matrix",
+    "render_uncertainty_matrix",
 ]
 
 
@@ -181,6 +183,48 @@ def render_multi_tenant_matrix(
                 point.wasted_work,
             ]
         )
+    table = format_table(headers, rows)
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def render_uncertainty_matrix(
+    points: Sequence[UncertaintyPoint],
+    *,
+    strategies: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """One row per (scenario, error magnitude) with mean±CI95 makespans.
+
+    The last two columns report the improvement rate of AHEFT over HEFT —
+    once on the mean makespans (the paper's convention) and once as the
+    mean of the paired per-replication rates with its CI95 half-width.
+    """
+    if not points:
+        return "(no data)"
+    strategies = list(strategies or points[0].stats.keys())
+    headers = ["scenario", "error", "magnitude", "n"]
+    for strategy in strategies:
+        headers.append(f"{strategy} mean±ci95")
+    headers.extend(["imprv(means)", "imprv(paired)"])
+    rows: List[List[object]] = []
+    for point in points:
+        row: List[object] = [
+            point.scenario,
+            point.error_model,
+            f"{point.magnitude:g}",
+            point.instances * point.replications,
+        ]
+        for strategy in strategies:
+            stat = point.stats[strategy]
+            row.append(f"{stat.mean:.1f}±{stat.ci95_half:.1f}")
+        row.append(f"{100.0 * point.improvement:.1f}%")
+        row.append(
+            f"{100.0 * point.improvement_stats.mean:.1f}%"
+            f"±{100.0 * point.improvement_stats.ci95_half:.1f}"
+        )
+        rows.append(row)
     table = format_table(headers, rows)
     if title:
         return f"{title}\n{table}"

@@ -142,11 +142,16 @@ def run_case(
     *,
     strategies: Sequence[str] = ("HEFT", "AHEFT"),
     runners: Optional[Mapping[str, Callable]] = None,
+    error_model=None,
 ) -> CaseResult:
     """Evaluate one case under the requested strategies.
 
     Each strategy gets its own freshly built resource pool from the case's
-    resource model, so strategies never interfere with each other.
+    resource model, so strategies never interfere with each other.  With an
+    ``error_model`` (see :class:`~repro.workflow.costs.ErrorModel`) every
+    strategy executes against the *same* sampled ground-truth durations
+    while planning on the unperturbed estimates — the estimate-error
+    dimension of the uncertainty experiments.
     """
     runners = dict(runners or STRATEGY_RUNNERS)
     unknown = [s for s in strategies if s not in runners]
@@ -157,6 +162,9 @@ def run_case(
     rescheduling_counts: Dict[str, int] = {}
     wasted_work: Dict[str, float] = {}
     killed_jobs: Dict[str, int] = {}
+    extra: Dict[str, object] = {}
+    if error_model is not None:
+        extra["error_model"] = error_model
     for strategy in strategies:
         if experiment.scenario is not None:
             scenario_run = experiment.build_scenario_run()
@@ -165,18 +173,24 @@ def run_case(
                 experiment.case.costs,
                 scenario_run.pool,
                 perf_profile=scenario_run.profile,
+                **extra,
             )
         else:
             pool = experiment.build_pool()
             result = runners[strategy](
-                experiment.case.workflow, experiment.case.costs, pool
+                experiment.case.workflow, experiment.case.costs, pool, **extra
             )
         makespans[strategy] = result.makespan
         rescheduling_counts[strategy] = result.rescheduling_count
         wasted_work[strategy] = getattr(result, "wasted_work", 0.0)
         killed_jobs[strategy] = getattr(result, "killed_jobs", 0)
+    params = experiment.params()
+    if error_model is not None:
+        params["error_model"] = error_model.name
+        params["error_magnitude"] = error_model.magnitude
+        params["replication"] = error_model.replication
     return CaseResult(
-        params=experiment.params(),
+        params=params,
         makespans=makespans,
         rescheduling_counts=rescheduling_counts,
         wasted_work=wasted_work,
@@ -186,8 +200,8 @@ def run_case(
 
 def _run_case_worker(payload) -> CaseResult:
     """Top-level worker so :class:`ProcessPoolExecutor` can pickle it."""
-    experiment, strategies = payload
-    return run_case(experiment, strategies=strategies)
+    experiment, strategies, error_model = payload
+    return run_case(experiment, strategies=strategies, error_model=error_model)
 
 
 def run_case_batch(
@@ -196,6 +210,7 @@ def run_case_batch(
     strategies: Sequence[str] = ("HEFT", "AHEFT"),
     runners: Optional[Mapping[str, Callable]] = None,
     workers: Optional[int] = None,
+    error_models: Optional[Sequence] = None,
 ) -> List[CaseResult]:
     """Run a batch of cases, optionally across ``workers`` processes.
 
@@ -205,18 +220,42 @@ def run_case_batch(
     submission order and every case produces the same result it would
     serially, regardless of worker count or completion order.
 
+    ``error_models`` (aligned with ``experiments``) attaches a sampled
+    ground truth to each case — the Monte Carlo replication harness passes
+    one :class:`~repro.workflow.costs.ErrorModel` per (case, replication)
+    pair.  Error models are frozen dataclasses and every draw derives from
+    their ``(seed, replication, scope)``, so they cross process boundaries
+    without losing determinism.
+
     ``workers=None`` (or ``<= 1``) runs serially.  Custom ``runners``
     mappings typically hold lambdas, which cannot cross a process boundary,
     so they also force the serial path.
     """
     experiments = list(experiments)
+    if error_models is None:
+        error_models = [None] * len(experiments)
+    else:
+        error_models = list(error_models)
+        if len(error_models) != len(experiments):
+            raise ValueError(
+                f"error_models length {len(error_models)} does not match "
+                f"{len(experiments)} experiments"
+            )
     if runners is not None or not workers or workers <= 1 or len(experiments) < 2:
         return [
-            run_case(experiment, strategies=strategies, runners=runners)
-            for experiment in experiments
+            run_case(
+                experiment,
+                strategies=strategies,
+                runners=runners,
+                error_model=error_model,
+            )
+            for experiment, error_model in zip(experiments, error_models)
         ]
     from concurrent.futures import ProcessPoolExecutor
 
-    payloads = [(experiment, tuple(strategies)) for experiment in experiments]
+    payloads = [
+        (experiment, tuple(strategies), error_model)
+        for experiment, error_model in zip(experiments, error_models)
+    ]
     with ProcessPoolExecutor(max_workers=int(workers)) as executor:
         return list(executor.map(_run_case_worker, payloads))

@@ -54,6 +54,19 @@ durations by the executing resource's slowdown factor at the job's start
 time: ``duration = actual_costs.computation_cost(job, r) · factor(r,
 start)``.  A job's speed is frozen at dispatch; factor changes affect jobs
 started after the change.
+
+Estimate error and the Performance Monitor
+------------------------------------------
+``actual_costs`` is where the uncertainty engine plugs in: passing a
+:class:`~repro.workflow.costs.PerturbedCostModel` (an
+:class:`~repro.workflow.costs.ErrorModel` sampled around the estimates)
+makes the executor replay a stochastic ground truth while the schedule
+being executed was still planned on the unperturbed estimates.  The
+optional ``history`` parameter plays the paper's Performance Monitor:
+every completed execution is recorded into the
+:class:`~repro.core.history.PerformanceHistoryRepository` as
+``(operation, resource, observed duration)``, feeding the Predictor's
+re-estimation on subsequent (re)planning passes.
 """
 
 from __future__ import annotations
@@ -115,6 +128,7 @@ class StaticScheduleExecutor:
         perf_profile=None,
         departure_policy: str = "failover",
         event_bus: Optional[EventBus] = None,
+        history=None,
     ) -> None:
         missing = [job for job in workflow.jobs if job not in schedule]
         if missing:
@@ -133,6 +147,7 @@ class StaticScheduleExecutor:
         self.perf_profile = perf_profile
         self.departure_policy = departure_policy
         self.event_bus = event_bus
+        self.history = history
 
     # ------------------------------------------------------------------
     def _duration(self, job: str, rid: str, start: float) -> float:
@@ -140,6 +155,30 @@ class StaticScheduleExecutor:
         if self.perf_profile is not None:
             duration *= self.perf_profile.factor_at(rid, start)
         return duration
+
+    def _observe(self, job: str, rid: str, start: float, finish: float) -> None:
+        """Report one completed execution to the Performance Monitor.
+
+        The observed duration is normalised by the (known) performance
+        factor at dispatch and stored with the Planner's prior estimate, so
+        ratio-mode re-estimation sees the pure estimate error — the same
+        semantics as the adaptive loop's monitor.
+        """
+        if self.history is None:
+            return
+        duration = finish - start
+        if self.perf_profile is not None:
+            factor = self.perf_profile.factor_at(rid, start)
+            if factor != 1.0:
+                duration /= factor
+        self.history.record_execution(
+            self.workflow.job(job).operation,
+            rid,
+            duration,
+            job_id=job,
+            finished_at=finish,
+            estimated=self.estimated_costs.computation_cost(job, rid),
+        )
 
     def run(self, *, engine: Optional[SimulationEngine] = None) -> ExecutionTrace:
         """Simulate the execution and return its trace."""
@@ -288,6 +327,7 @@ class StaticScheduleExecutor:
             in_flight.pop(job, None)
             completed_on[job] = (rid, finish)
             trace.record_job(job, rid, start, finish)
+            self._observe(job, rid, start, finish)
             # ship each output immediately to the successor's scheduled resource
             for succ in self.workflow.successors(job):
                 target = self.schedule.resource_of(succ)
@@ -400,6 +440,7 @@ class JustInTimeExecutor:
         strategy_name: Optional[str] = None,
         perf_profile=None,
         event_bus: Optional[EventBus] = None,
+        history=None,
     ) -> None:
         self.workflow = workflow
         self.costs = costs
@@ -409,6 +450,7 @@ class JustInTimeExecutor:
         self.strategy_name = strategy_name or getattr(self.mapper, "name", "dynamic")
         self.perf_profile = perf_profile
         self.event_bus = event_bus
+        self.history = history
 
     # ------------------------------------------------------------------
     def _duration(self, job: str, rid: str, start: float) -> float:
@@ -416,6 +458,29 @@ class JustInTimeExecutor:
         if self.perf_profile is not None:
             duration *= self.perf_profile.factor_at(rid, start)
         return duration
+
+    def _observe(self, job: str, rid: str, start: float, finish: float) -> None:
+        """Report one completed execution to the Performance Monitor.
+
+        Normalised and estimate-stamped exactly like
+        :meth:`StaticScheduleExecutor._observe`, so every monitor writes
+        the same semantics into a shared history repository.
+        """
+        if self.history is None:
+            return
+        duration = finish - start
+        if self.perf_profile is not None:
+            factor = self.perf_profile.factor_at(rid, start)
+            if factor != 1.0:
+                duration /= factor
+        self.history.record_execution(
+            self.workflow.job(job).operation,
+            rid,
+            duration,
+            job_id=job,
+            finished_at=finish,
+            estimated=self.costs.computation_cost(job, rid),
+        )
 
     def run(self, *, engine: Optional[SimulationEngine] = None) -> ExecutionTrace:
         engine = engine or SimulationEngine()
@@ -507,6 +572,7 @@ class JustInTimeExecutor:
             in_flight.pop(job, None)
             data_location[job] = rid
             trace.record_job(job, rid, start, finish)
+            self._observe(job, rid, start, finish)
             dispatch()
 
         def on_departure(removed: Tuple[str, ...]) -> None:

@@ -24,16 +24,33 @@ timelines from every tenant's final schedule and raises if two tenants ever
 held the same slot — the cross-tenant exclusivity invariant the test suite
 checks (for scenarios without performance changes; see
 :mod:`repro.core.multi_tenant` for the perf-repair approximation).
+
+Stochastic ground truth
+-----------------------
+An optional ``error_model`` (:class:`~repro.workflow.costs.ErrorModel`)
+replays every tenant's final bookings with sampled *actual* durations
+after planning completes: bookings are reservations (a job never starts
+before its booked slot), and deviations push it — and everything queued
+behind it on the shared resource, across tenants — later.  Each
+workflow's truth is namespaced by its key, so two tenants running the
+same DAG draw independent actuals.  ``completed_at`` then reports the
+achieved completion (flow time and stretch become actual metrics) and
+:attr:`WorkflowOutcome.actual_schedule` carries the replayed timeline.
+With a null error model the replay reproduces the booked times bit for
+bit.  Known approximation, matching the planner's: the replay does not
+re-kill work a deviation pushes past a later departure — the planner
+already replanned at the departure based on booked times.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.resources.pool import PoolEvent, ResourcePool
 from repro.scheduling.aheft import AHEFTScheduler
-from repro.scheduling.base import ResourceTimeline, Schedule, TIME_EPS
+from repro.scheduling.base import Assignment, ResourceTimeline, Schedule, TIME_EPS
+from repro.workflow.costs import ErrorModel, PerturbedCostModel
 from repro.workload.streams import WorkflowArrival
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -58,6 +75,8 @@ class WorkflowOutcome:
     decisions: List["ReschedulingDecision"] = field(default_factory=list)
     wasted_work: float = 0.0
     killed_jobs: int = 0
+    #: the replayed actual timeline when an error model sampled the truth
+    actual_schedule: Optional[Schedule] = None
 
     @property
     def flow_time(self) -> float:
@@ -160,6 +179,7 @@ class SharedGridExecutor:
         scheduler_factory: Callable[[], AHEFTScheduler] = AHEFTScheduler,
         accept_only_if_better: bool = True,
         epsilon: float = 1e-9,
+        error_model: Optional[ErrorModel] = None,
     ) -> None:
         self.arrivals = sorted(arrivals, key=lambda a: (a.time, a.seq, a.key))
         self.pool = pool
@@ -169,6 +189,7 @@ class SharedGridExecutor:
         self.scheduler_factory = scheduler_factory
         self.accept_only_if_better = accept_only_if_better
         self.epsilon = epsilon
+        self.error_model = error_model
 
     def run(self) -> SharedGridResult:
         # imported here: repro.core.adaptive itself imports the simulation
@@ -200,21 +221,108 @@ class SharedGridExecutor:
             for arrival in arrivals_at.get(clock, ()):
                 planner.admit(arrival, clock)
 
-        outcomes = [
-            WorkflowOutcome(
-                key=wf.key,
-                tenant=wf.tenant,
-                kind=wf.kind,
-                seq=wf.seq,
-                arrival_time=wf.arrival_time,
-                completed_at=wf.completed_at,
-                dedicated_span=wf.dedicated_span,
-                schedule=wf.schedule,
-                decisions=list(wf.decisions),
-                wasted_work=wf.wasted_work,
-                killed_jobs=len(wf.killed_jobs),
+        workflows = planner.finalize()
+        actuals: Dict[str, Schedule] = {}
+        if self.error_model is not None:
+            actuals = _replay_shared_actuals(
+                workflows, self.error_model, self.perf_profile
             )
-            for wf in planner.finalize()
-        ]
+        outcomes = []
+        for wf in workflows:
+            actual_schedule = actuals.get(wf.key)
+            completed_at = (
+                actual_schedule.makespan()
+                if actual_schedule is not None
+                else wf.completed_at
+            )
+            outcomes.append(
+                WorkflowOutcome(
+                    key=wf.key,
+                    tenant=wf.tenant,
+                    kind=wf.kind,
+                    seq=wf.seq,
+                    arrival_time=wf.arrival_time,
+                    completed_at=completed_at,
+                    dedicated_span=wf.dedicated_span,
+                    schedule=wf.schedule,
+                    decisions=list(wf.decisions),
+                    wasted_work=wf.wasted_work,
+                    killed_jobs=len(wf.killed_jobs),
+                    actual_schedule=actual_schedule,
+                )
+            )
         outcomes.sort(key=lambda outcome: outcome.seq)
         return SharedGridResult(policy=self.policy, outcomes=outcomes)
+
+
+def _replay_shared_actuals(
+    workflows: Sequence, error_model: ErrorModel, perf_profile
+) -> Dict[str, Schedule]:
+    """Replay every tenant's final bookings with sampled actual durations.
+
+    All bookings share the per-resource timelines: jobs execute in booked
+    order per resource, each starting at its booked time unless the
+    resource is still busy (an earlier booking — possibly another
+    tenant's — overran) or its own predecessors' outputs have not arrived.
+    Durations come from the workflow's scoped
+    :class:`~repro.workflow.costs.PerturbedCostModel`, scaled by the
+    performance factor at the actual start (speed frozen at dispatch).
+    Returns the actual :class:`~repro.scheduling.base.Schedule` per
+    workflow key.
+    """
+    truths: Dict[str, PerturbedCostModel] = {}
+    #: (start, finish, seq, topo_index, workflow, assignment)
+    entries: List[Tuple[float, float, int, int, object, object]] = []
+    for wf in workflows:
+        scope = f"{error_model.scope}/{wf.key}" if error_model.scope else wf.key
+        truths[wf.key] = PerturbedCostModel(wf.costs, error_model.scoped(scope))
+        topo_index = {
+            job: index for index, job in enumerate(wf.workflow.topological_order())
+        }
+        for assignment in wf.schedule:
+            entries.append(
+                (
+                    assignment.start,
+                    assignment.finish,
+                    wf.seq,
+                    topo_index[assignment.job_id],
+                    wf,
+                    assignment,
+                )
+            )
+    entries.sort(key=lambda entry: entry[:4])
+
+    free: Dict[str, float] = {}
+    actual: Dict[Tuple[str, str], Assignment] = {}
+    for _, _, _, _, wf, booked in entries:
+        job = booked.job_id
+        rid = booked.resource_id
+        truth = truths[wf.key]
+        ready = max(booked.start, free.get(rid, 0.0))
+        for pred in wf.workflow.predecessors(job):
+            pred_actual = actual.get((wf.key, pred))
+            if pred_actual is None:
+                # a zero-duration booking tie put the predecessor later in
+                # the sort; its booked times are then already its actuals
+                pred_actual = wf.schedule.get(pred)
+            transfer = truth.communication_cost(
+                pred, job, pred_actual.resource_id, rid
+            )
+            arrival = pred_actual.finish + transfer
+            if arrival > ready:
+                ready = arrival
+        duration = truth.computation_cost(job, rid)
+        if perf_profile is not None:
+            duration *= perf_profile.factor_at(rid, ready)
+        placed = Assignment(job, rid, ready, ready + duration)
+        actual[(wf.key, job)] = placed
+        if placed.finish > free.get(rid, 0.0):
+            free[rid] = placed.finish
+
+    schedules: Dict[str, Schedule] = {}
+    for wf in workflows:
+        schedule = Schedule(name=f"{wf.key}-actual")
+        for assignment in wf.schedule:
+            schedule.add(actual[(wf.key, assignment.job_id)])
+        schedules[wf.key] = schedule
+    return schedules

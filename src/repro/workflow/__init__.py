@@ -14,6 +14,17 @@ from repro.workflow.costs import (
     TabularCostModel,
     HeterogeneousCostModel,
     UniformCostModel,
+    ErrorModel,
+    GaussianErrorModel,
+    LognormalErrorModel,
+    UniformErrorModel,
+    ResourceBiasErrorModel,
+    StragglerErrorModel,
+    PerturbedCostModel,
+    ERROR_MODELS,
+    available_error_models,
+    error_model_summary,
+    make_error_model,
 )
 from repro.workflow.analysis import (
     upward_ranks,
@@ -41,6 +52,17 @@ __all__ = [
     "TabularCostModel",
     "HeterogeneousCostModel",
     "UniformCostModel",
+    "ErrorModel",
+    "GaussianErrorModel",
+    "LognormalErrorModel",
+    "UniformErrorModel",
+    "ResourceBiasErrorModel",
+    "StragglerErrorModel",
+    "PerturbedCostModel",
+    "ERROR_MODELS",
+    "available_error_models",
+    "error_model_summary",
+    "make_error_model",
     "upward_ranks",
     "downward_ranks",
     "critical_path",

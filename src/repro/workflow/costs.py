@@ -29,7 +29,8 @@ Two concrete models are provided:
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +42,17 @@ __all__ = [
     "TabularCostModel",
     "HeterogeneousCostModel",
     "UniformCostModel",
+    "ErrorModel",
+    "GaussianErrorModel",
+    "LognormalErrorModel",
+    "UniformErrorModel",
+    "ResourceBiasErrorModel",
+    "StragglerErrorModel",
+    "PerturbedCostModel",
+    "ERROR_MODELS",
+    "available_error_models",
+    "error_model_summary",
+    "make_error_model",
 ]
 
 
@@ -545,3 +557,383 @@ class UniformCostModel(CostModel):
 
     def average_communication_cost(self, src: str, dst: str) -> float:
         return self.latency + self.workflow.data(src, dst) / self.bandwidth
+
+
+# ----------------------------------------------------------------------
+# stochastic ground-truth runtimes (estimate-error experiments)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ErrorModel(abc.ABC):
+    """A deterministic sampler of *actual* runtimes around the estimates.
+
+    The paper's whole premise is that execution-time estimates are
+    inaccurate; an :class:`ErrorModel` makes that concrete by assigning
+    every (job, resource) pair a multiplicative *truth factor*: the actual
+    duration of the job on the resource is ``estimate · factor``.  The
+    scheduler keeps planning on the unperturbed estimates — only the
+    executors (and the Performance Monitor feeding the history repository)
+    see the sampled truth.
+
+    Sampling is deterministic in ``(seed, family, replication, scope,
+    job_id, resource_id)`` via the hierarchical seeding of
+    :mod:`repro.utils.rng`: two queries of the same pair return the same
+    factor regardless of query order, and two replications of the same
+    experiment draw independent truths.  ``scope`` namespaces the draws,
+    decorrelating e.g. the workflows of different tenants (whose DAGs reuse
+    the same job identifiers).
+
+    Factors are clamped below at :attr:`floor` so durations stay positive
+    under heavy-tailed draws.
+    """
+
+    seed: int = 0
+    replication: int = 0
+    scope: str = ""
+
+    #: registry/CLI identifier; concrete families override it.
+    name = "error"
+    #: smallest factor a draw can produce (keeps durations positive)
+    floor = 0.05
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _draw(self, rng: np.random.Generator, job_id: str, resource_id: str) -> float:
+        """Draw the raw (unclamped) factor for one (job, resource) pair."""
+
+    @property
+    @abc.abstractmethod
+    def magnitude(self) -> float:
+        """The family's primary error knob (what uncertainty sweeps vary)."""
+
+    @property
+    def is_null(self) -> bool:
+        """True when every factor is exactly 1.0 (estimates are the truth).
+
+        Null models short-circuit sampling entirely so zero-noise runs are
+        bit-identical to the analytic executors.
+        """
+        return self.magnitude == 0
+
+    # ------------------------------------------------------------------
+    def factor(self, job_id: str, resource_id: str) -> float:
+        """The truth factor of ``job_id`` on ``resource_id`` (clamped)."""
+        if self.is_null:
+            return 1.0
+        rng = spawn_rng(
+            self.seed, "error", self.name, self.replication, self.scope,
+            job_id, resource_id,
+        )
+        return max(self.floor, float(self._draw(rng, job_id, resource_id)))
+
+    def actual_duration(self, estimate: float, job_id: str, resource_id: str) -> float:
+        """The sampled ground-truth duration for an estimated one."""
+        if self.is_null:
+            return estimate
+        return estimate * self.factor(job_id, resource_id)
+
+    # ------------------------------------------------------------------
+    def for_replication(self, replication: int) -> "ErrorModel":
+        """The same error family drawing the truth of another replication."""
+        return replace(self, replication=int(replication))
+
+    def scoped(self, scope: str) -> "ErrorModel":
+        """A copy whose draws are namespaced by ``scope`` (e.g. a tenant key)."""
+        return replace(self, scope=str(scope))
+
+    def params(self) -> Dict[str, object]:
+        """JSON-friendly parameters for experiment ledgers."""
+        fields = getattr(self, "__dataclass_fields__", {})
+        out: Dict[str, object] = {"name": self.name}
+        out.update({key: getattr(self, key) for key in fields})
+        return out
+
+    def describe(self) -> str:
+        inner = ", ".join(
+            f"{k}={v!r}" for k, v in self.params().items() if k != "name"
+        )
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class GaussianErrorModel(ErrorModel):
+    """Relative Gaussian noise: ``factor = 1 + sigma · N(0, 1)``.
+
+    The symmetric, zero-mean error model of most scheduling-under-
+    uncertainty studies; ``sigma`` is the relative standard deviation of
+    the actual duration around the estimate.
+    """
+
+    sigma: float = 0.2
+
+    name = "gaussian"
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    @property
+    def magnitude(self) -> float:
+        return self.sigma
+
+    def _draw(self, rng: np.random.Generator, job_id: str, resource_id: str) -> float:
+        return 1.0 + self.sigma * float(rng.standard_normal())
+
+
+@dataclass(frozen=True)
+class LognormalErrorModel(ErrorModel):
+    """Multiplicative lognormal noise with mean factor 1.
+
+    ``factor = exp(sigma · N(0,1) − sigma²/2)`` — always positive, right-
+    skewed (occasional much-slower-than-estimated runs), and mean-one so the
+    error is unbiased in expectation.
+    """
+
+    sigma: float = 0.2
+
+    name = "lognormal"
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    @property
+    def magnitude(self) -> float:
+        return self.sigma
+
+    def _draw(self, rng: np.random.Generator, job_id: str, resource_id: str) -> float:
+        shift = 0.5 * self.sigma * self.sigma
+        return float(np.exp(self.sigma * rng.standard_normal() - shift))
+
+
+@dataclass(frozen=True)
+class UniformErrorModel(ErrorModel):
+    """Bounded relative noise: ``factor ~ U[1 − spread, 1 + spread]``.
+
+    The distribution the paper itself suggests for estimate perturbation
+    (§3.3) and the one :meth:`HeterogeneousCostModel.perturbed` applies to
+    whole cost tables.
+    """
+
+    spread: float = 0.2
+
+    name = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.spread < 0 or self.spread >= 1:
+            raise ValueError("spread must be in [0, 1)")
+
+    @property
+    def magnitude(self) -> float:
+        return self.spread
+
+    def _draw(self, rng: np.random.Generator, job_id: str, resource_id: str) -> float:
+        return float(rng.uniform(1.0 - self.spread, 1.0 + self.spread))
+
+
+@dataclass(frozen=True)
+class ResourceBiasErrorModel(ErrorModel):
+    """Per-resource systematic bias plus small per-job jitter.
+
+    Every resource misreports its speed by one fixed factor drawn from
+    ``U[1 − spread, 1 + spread]`` (benchmark obsolescence: the information
+    service's notion of a machine is consistently wrong); optionally each
+    job adds independent jitter from ``U[1 − jitter, 1 + jitter]``
+    (disabled by default so ``magnitude 0`` really means *no* error).
+    History-driven re-estimation shines here: a few observations per
+    resource recover the bias almost exactly.
+    """
+
+    spread: float = 0.2
+    jitter: float = 0.0
+
+    name = "resource_bias"
+
+    def __post_init__(self) -> None:
+        if self.spread < 0 or self.spread >= 1:
+            raise ValueError("spread must be in [0, 1)")
+        if self.jitter < 0 or self.jitter >= 1:
+            raise ValueError("jitter must be in [0, 1)")
+
+    @property
+    def magnitude(self) -> float:
+        return self.spread
+
+    @property
+    def is_null(self) -> bool:
+        return self.spread == 0 and self.jitter == 0
+
+    def resource_bias(self, resource_id: str) -> float:
+        """The fixed truth bias of one resource (shared by all its jobs)."""
+        if self.spread == 0:
+            return 1.0
+        rng = spawn_rng(
+            self.seed, "error", self.name, self.replication, self.scope,
+            "bias", resource_id,
+        )
+        return float(rng.uniform(1.0 - self.spread, 1.0 + self.spread))
+
+    def _draw(self, rng: np.random.Generator, job_id: str, resource_id: str) -> float:
+        factor = self.resource_bias(resource_id)
+        if self.jitter > 0:
+            factor *= float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+        return factor
+
+
+@dataclass(frozen=True)
+class StragglerErrorModel(ErrorModel):
+    """Heavy-tailed stragglers: most jobs are near-accurate, a few crawl.
+
+    With probability ``probability`` a (job, resource) pair is a straggler
+    and takes ``slowdown ×`` its estimate (the long tail of contended or
+    failing nodes); otherwise the estimate is exact, unless an optional
+    ``spread`` adds mild bounded noise ``U[1 − spread, 1 + spread]``
+    (disabled by default so ``magnitude 0`` really means *no* error).
+    """
+
+    probability: float = 0.05
+    slowdown: float = 5.0
+    spread: float = 0.0
+
+    name = "stragglers"
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.probability <= 1:
+            raise ValueError("probability must be in [0, 1]")
+        if self.slowdown < 1:
+            raise ValueError("slowdown must be >= 1")
+        if self.spread < 0 or self.spread >= 1:
+            raise ValueError("spread must be in [0, 1)")
+
+    @property
+    def magnitude(self) -> float:
+        return self.probability
+
+    @property
+    def is_null(self) -> bool:
+        return self.probability == 0 and self.spread == 0
+
+    def _draw(self, rng: np.random.Generator, job_id: str, resource_id: str) -> float:
+        # one draw decides straggler-or-not, the next prices the factor, so
+        # the pair's truth is a pure function of its stream
+        if float(rng.random()) < self.probability:
+            return self.slowdown
+        if self.spread == 0:
+            return 1.0
+        return float(rng.uniform(1.0 - self.spread, 1.0 + self.spread))
+
+
+#: registry: family name -> ``factory(magnitude, seed=..., **kw) -> ErrorModel``.
+#: ``magnitude`` maps to each family's primary knob so uncertainty sweeps
+#: can vary "estimate error" uniformly across families.
+ERROR_MODELS: Dict[str, Callable[..., ErrorModel]] = {
+    "gaussian": lambda magnitude=0.2, seed=0, **kw: GaussianErrorModel(
+        sigma=magnitude, seed=seed, **kw
+    ),
+    "lognormal": lambda magnitude=0.2, seed=0, **kw: LognormalErrorModel(
+        sigma=magnitude, seed=seed, **kw
+    ),
+    "uniform": lambda magnitude=0.2, seed=0, **kw: UniformErrorModel(
+        spread=magnitude, seed=seed, **kw
+    ),
+    "resource_bias": lambda magnitude=0.2, seed=0, **kw: ResourceBiasErrorModel(
+        spread=magnitude, seed=seed, **kw
+    ),
+    "stragglers": lambda magnitude=0.05, seed=0, **kw: StragglerErrorModel(
+        probability=magnitude, seed=seed, **kw
+    ),
+}
+
+_ERROR_MODEL_SUMMARIES: Dict[str, str] = {
+    "gaussian": "relative Gaussian noise, factor = 1 + magnitude*N(0,1)",
+    "lognormal": "mean-one lognormal noise, right-skewed, sigma = magnitude",
+    "uniform": "bounded noise, factor ~ U[1-magnitude, 1+magnitude]",
+    "resource_bias": "fixed per-resource bias of +/-magnitude plus small jitter",
+    "stragglers": "P(straggler) = magnitude, stragglers run 5x the estimate",
+}
+
+
+def available_error_models() -> List[str]:
+    """Registered error-family names, sorted."""
+    return sorted(ERROR_MODELS)
+
+
+def error_model_summary(name: str) -> str:
+    """One-line description of a registered error family."""
+    if name not in ERROR_MODELS:
+        raise KeyError(
+            f"unknown error model {name!r}; available: {available_error_models()}"
+        )
+    return _ERROR_MODEL_SUMMARIES.get(name, "(no summary registered)")
+
+
+def make_error_model(name: str, magnitude: Optional[float] = None, *, seed: int = 0,
+                     **kwargs) -> ErrorModel:
+    """Instantiate a registered error family at one error magnitude."""
+    if name not in ERROR_MODELS:
+        raise KeyError(
+            f"unknown error model {name!r}; available: {available_error_models()}"
+        )
+    factory = ERROR_MODELS[name]
+    if magnitude is None:
+        return factory(seed=seed, **kwargs)
+    return factory(magnitude, seed=seed, **kwargs)
+
+
+class PerturbedCostModel(CostModel):
+    """The sampled ground truth exposed through the :class:`CostModel` API.
+
+    Wraps an *estimated* cost model and an :class:`ErrorModel`:
+    ``computation_cost`` returns the sampled actual duration while every
+    communication query and the estimator-facing averages pass through the
+    base model unchanged (the uncertainty experiments perturb computation
+    time only; transfer estimates stay accurate, matching the paper's
+    history repository, which covers job performance, not network
+    performance).
+
+    Executors take this as their ``actual_costs`` model; with a null error
+    model every query returns the base value bit-for-bit, which is what the
+    zero-noise differential suite pins down.
+    """
+
+    def __init__(self, base: CostModel, error: ErrorModel) -> None:
+        self.base = base
+        self.workflow = base.workflow
+        self.error = error
+        self._factor_cache: Dict[Tuple[str, str], float] = {}
+
+    def cache_token(self) -> Optional[object]:
+        token = self.base.cache_token()
+        if token is None:
+            return None
+        return ("perturbed", token, self.error)
+
+    @property
+    def has_uniform_communication(self) -> bool:
+        return self.base.has_uniform_communication
+
+    def truth_factor(self, job_id: str, resource_id: str) -> float:
+        """The (memoized) truth factor of one pair."""
+        key = (job_id, resource_id)
+        factor = self._factor_cache.get(key)
+        if factor is None:
+            factor = self.error.factor(job_id, resource_id)
+            self._factor_cache[key] = factor
+        return factor
+
+    def computation_cost(self, job_id: str, resource_id: str) -> float:
+        estimate = self.base.computation_cost(job_id, resource_id)
+        if self.error.is_null:
+            return estimate
+        return estimate * self.truth_factor(job_id, resource_id)
+
+    def intrinsic_average_computation_cost(self, job_id: str) -> float:
+        # estimator-facing: averages feed ranks, which plan on estimates
+        return self.base.intrinsic_average_computation_cost(job_id)
+
+    def communication_cost(
+        self, src: str, dst: str, src_resource: str, dst_resource: str
+    ) -> float:
+        return self.base.communication_cost(src, dst, src_resource, dst_resource)
+
+    def average_communication_cost(self, src: str, dst: str) -> float:
+        return self.base.average_communication_cost(src, dst)

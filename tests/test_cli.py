@@ -193,7 +193,7 @@ class TestDynamicScenarioHelp:
     """`--help` must enumerate the registry, not a hard-coded list, so new
     scenarios can never drift out of the help text."""
 
-    @pytest.mark.parametrize("command", ["sweep", "multi"])
+    @pytest.mark.parametrize("command", ["sweep", "multi", "mc"])
     def test_help_lists_every_registered_scenario(self, command, capsys):
         from repro.scenarios import available_scenarios
 
@@ -290,6 +290,108 @@ class TestMultiCommand:
     def test_non_positive_tenants_exits_two(self, tmp_path):
         assert (
             main(["multi", "--tenants", "0", "--out", str(tmp_path / "x.json")])
+            == EXIT_ERROR
+        )
+
+
+class TestMcCommand:
+    #: a small-but-real invocation: 2 magnitudes × 2 replications
+    QUICK = [
+        "mc",
+        "--error-model",
+        "resource_bias",
+        "--magnitude",
+        "0.0",
+        "--magnitude",
+        "0.4",
+        "--scenario",
+        "paper",
+        "--v",
+        "14",
+        "--resources",
+        "5",
+        "--instances",
+        "1",
+        "--replications",
+        "2",
+        "--seed",
+        "0",
+    ]
+
+    def test_mc_ledger_is_deterministic_across_workers(self, tmp_path):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        assert main(self.QUICK + ["--out", str(out_a)]) == EXIT_OK
+        assert main(self.QUICK + ["--workers", "2", "--out", str(out_b)]) == EXIT_OK
+        assert out_a.read_text() == out_b.read_text()
+        assert main(["compare", str(out_a), str(out_b)]) == EXIT_OK
+        ledger = json.loads(out_a.read_text())
+        assert ledger["kind"] == "uncertainty_sweep"
+        assert ledger["magnitudes"] == [0.0, 0.4]
+        point = ledger["points"][0]
+        for key in ("stats", "improvement", "improvement_ci95_low", "magnitude"):
+            assert key in point
+        for stat in point["stats"].values():
+            for key in ("mean", "std", "ci95_low", "ci95_high", "count"):
+                assert key in stat
+
+    def test_help_lists_every_registered_error_model(self, capsys):
+        from repro.workflow.costs import available_error_models
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["mc", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in available_error_models():
+            assert name in out
+
+    def test_freshly_registered_error_model_appears_in_help(self, capsys):
+        from repro.workflow.costs import ERROR_MODELS, GaussianErrorModel
+
+        name = "only_for_this_test"
+        ERROR_MODELS[name] = lambda magnitude=0.1, seed=0, **kw: GaussianErrorModel(
+            sigma=magnitude, seed=seed, **kw
+        )
+        try:
+            with pytest.raises(SystemExit):
+                main(["mc", "--help"])
+            assert name in capsys.readouterr().out
+        finally:
+            ERROR_MODELS.pop(name, None)
+
+    def test_unknown_error_model_exits_two(self, tmp_path):
+        assert (
+            main(
+                [
+                    "mc",
+                    "--error-model",
+                    "nope",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+            == EXIT_ERROR
+        )
+
+    def test_invalid_magnitude_exits_two(self, tmp_path):
+        assert (
+            main(
+                [
+                    "mc",
+                    "--error-model",
+                    "uniform",
+                    "--magnitude",
+                    "1.5",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+            == EXIT_ERROR
+        )
+
+    def test_unknown_scenario_exits_two(self, tmp_path):
+        assert (
+            main(["mc", "--scenario", "nope", "--out", str(tmp_path / "x.json")])
             == EXIT_ERROR
         )
 

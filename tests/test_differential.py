@@ -1,6 +1,6 @@
-"""Differential test harness (ISSUE-3).
+"""Differential test harness (ISSUE-3 bit-identity, ISSUE-4 zero noise).
 
-Two families of guarantees, checked on hypothesis-driven random cases:
+Three families of guarantees, checked on hypothesis-driven random cases:
 
 * **Bit-identity** — a single tenant submitting a single workflow at time 0
   to the :class:`~repro.simulation.shared_grid.SharedGridExecutor` is the
@@ -18,6 +18,13 @@ Two families of guarantees, checked on hypothesis-driven random cases:
   windows.  For multi-tenant runs the cross-workflow exclusivity invariant
   is additionally re-checked by booking every tenant's final schedule onto
   one shared timeline per resource.
+
+* **Zero noise** — every executor with the uncertainty engine's
+  :class:`~repro.workflow.costs.ErrorModel` at magnitude 0 (or disabled)
+  is bit-identical to the analytic path it generalises: same schedules,
+  same makespans, same wasted work, same adaptive decision stream — under
+  every registered scenario.  This pins the stochastic-truth machinery to
+  the paper-validated accurate-estimation code path.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from repro.scheduling.validation import (
     validate_schedule,
 )
 from repro.simulation.shared_grid import SharedGridExecutor
+from repro.workflow.costs import available_error_models, make_error_model
 from repro.workload.streams import TenantSpec, WorkflowArrival, WorkloadStream
 
 #: scenarios whose dynamics are pool-membership only (no perf factors) —
@@ -197,3 +205,139 @@ class TestSchedulerInvariantsUnderScenarios:
         # cross-tenant exclusivity: booking everything on one timeline per
         # resource raises if two tenants ever held the same slot
         result.shared_timelines()
+
+
+def _decision_tuples(result):
+    return [
+        (d.time, d.event, d.adopted, d.forced, d.previous_makespan, d.candidate_makespan)
+        for d in result.decisions
+    ]
+
+
+class TestZeroNoiseDifferential:
+    """Magnitude-0 error models are bit-identical to the analytic path."""
+
+    @pytest.mark.parametrize("scenario_name", available_scenarios())
+    def test_adaptive_zero_noise_equals_analytic(self, scenario_name):
+        case = _case(v=24, seed=17)
+        run_a = materialize(make_scenario(scenario_name), initial_size=6, seed=5)
+        legacy = run_adaptive(
+            case.workflow, case.costs, run_a.pool, perf_profile=run_a.profile
+        )
+        run_b = materialize(make_scenario(scenario_name), initial_size=6, seed=5)
+        null = run_adaptive(
+            case.workflow, case.costs, run_b.pool, perf_profile=run_b.profile,
+            error_model=make_error_model("gaussian", 0.0),
+        )
+        assert null.final_schedule.to_dict() == legacy.final_schedule.to_dict()
+        assert null.makespan == legacy.makespan
+        assert null.wasted_work == legacy.wasted_work
+        assert null.killed_jobs == legacy.killed_jobs
+        assert _decision_tuples(null) == _decision_tuples(legacy)
+        # the replayed trace reproduces the final plan's booked times exactly
+        assert null.trace is not None
+        assert null.trace.to_schedule().to_dict() == {
+            job: assignment
+            for job, assignment in legacy.final_schedule.to_dict().items()
+        }
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        v=st.integers(min_value=8, max_value=30),
+        case_seed=st.integers(min_value=0, max_value=10**6),
+        family=st.sampled_from(sorted(available_error_models())),
+        scenario_name=st.sampled_from(sorted(available_scenarios())),
+        scenario_seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_adaptive_zero_noise_random_cases(
+        self, v, case_seed, family, scenario_name, scenario_seed
+    ):
+        case = _case(v=v, seed=case_seed)
+        run_a = materialize(
+            make_scenario(scenario_name), initial_size=6, seed=scenario_seed
+        )
+        legacy = run_adaptive(
+            case.workflow, case.costs, run_a.pool, perf_profile=run_a.profile
+        )
+        run_b = materialize(
+            make_scenario(scenario_name), initial_size=6, seed=scenario_seed
+        )
+        null = run_adaptive(
+            case.workflow, case.costs, run_b.pool, perf_profile=run_b.profile,
+            error_model=make_error_model(family, 0.0),
+        )
+        assert null.final_schedule.to_dict() == legacy.final_schedule.to_dict()
+        assert null.makespan == legacy.makespan
+        assert null.wasted_work == legacy.wasted_work
+        assert _decision_tuples(null) == _decision_tuples(legacy)
+
+    @pytest.mark.parametrize("scenario_name", sorted(MEMBERSHIP_SCENARIOS))
+    def test_static_and_dynamic_zero_noise_equal_plain_runs(self, scenario_name):
+        case = _case(v=20, seed=3)
+        null_model = make_error_model("lognormal", 0.0)
+        for runner in (run_static, run_dynamic):
+            run_a = materialize(make_scenario(scenario_name), initial_size=6, seed=9)
+            plain = runner(
+                case.workflow, case.costs, run_a.pool, perf_profile=run_a.profile,
+            )
+            run_b = materialize(make_scenario(scenario_name), initial_size=6, seed=9)
+            null = runner(
+                case.workflow, case.costs, run_b.pool, perf_profile=run_b.profile,
+                error_model=null_model,
+            )
+            assert null.makespan == plain.makespan
+            assert null.wasted_work == plain.wasted_work
+            assert null.killed_jobs == plain.killed_jobs
+            if plain.trace is not None:
+                assert null.trace.to_schedule().to_dict() == (
+                    plain.trace.to_schedule().to_dict()
+                )
+
+    def test_static_executor_zero_noise_trace_matches_plain_simulation(self):
+        """Even without dynamics the simulated paths coincide bit for bit."""
+        case = _case(v=20, seed=3)
+        run_a = materialize(make_scenario("static"), initial_size=6, seed=9)
+        plain = run_static(
+            case.workflow, case.costs, run_a.pool, perf_profile=run_a.profile,
+            simulate=True,
+        )
+        run_b = materialize(make_scenario("static"), initial_size=6, seed=9)
+        null = run_static(
+            case.workflow, case.costs, run_b.pool, perf_profile=run_b.profile,
+            error_model=make_error_model("uniform", 0.0),
+        )
+        assert null.trace.to_schedule().to_dict() == plain.trace.to_schedule().to_dict()
+
+    @pytest.mark.parametrize("scenario_name", sorted(MEMBERSHIP_SCENARIOS))
+    def test_shared_grid_zero_noise_replay_is_identity(self, scenario_name):
+        specs = [
+            TenantSpec(
+                name=f"t{i + 1}",
+                arrival_rate=0.003,
+                max_arrivals=2,
+                v=12,
+                parallelism=6,
+                mix=(("random", 0.7), ("blast", 0.3)),
+            )
+            for i in range(3)
+        ]
+        stream = WorkloadStream(specs, seed=13, horizon=4000.0)
+        run_a = materialize(make_scenario(scenario_name), initial_size=6, seed=7)
+        plain = SharedGridExecutor(
+            stream.arrivals(), run_a.pool, perf_profile=run_a.profile
+        ).run()
+        run_b = materialize(make_scenario(scenario_name), initial_size=6, seed=7)
+        null = SharedGridExecutor(
+            stream.arrivals(), run_b.pool, perf_profile=run_b.profile,
+            error_model=make_error_model("gaussian", 0.0),
+        ).run()
+        assert len(plain.outcomes) == len(null.outcomes)
+        for a, b in zip(null.outcomes, plain.outcomes):
+            assert a.key == b.key
+            assert a.completed_at == b.completed_at
+            assert a.schedule.to_dict() == b.schedule.to_dict()
+            # the replayed actuals reproduce the booked times exactly
+            assert a.actual_schedule is not None
+            assert a.actual_schedule.to_dict() == b.schedule.to_dict()
+            assert a.wasted_work == b.wasted_work
+            assert _decision_tuples(a) == _decision_tuples(b)

@@ -1,0 +1,497 @@
+"""The uncertainty engine (ISSUE-4).
+
+Four guarantee families:
+
+* **Deterministic sampling** — an error model's truth factors are a pure
+  function of ``(seed, replication, scope, job, resource)``: independent of
+  query order, stable across pickling (process boundaries), distinct
+  between replications, and exactly 1.0 at magnitude zero.
+* **Feasibility under noise** — executed traces of every strategy under
+  random error models still satisfy the scheduling invariants: no slot
+  overlap, precedence including communication delay, and availability
+  windows.
+* **The Fig. 1 feedback loop** — observed actuals accumulate in the
+  Performance History Repository, the Predictor's re-estimated model moves
+  towards the observed truths (both blend semantics), and the adaptive
+  accept rule really plans with the re-estimated model.
+* **Determinism under parallelism** — ``run_replicated`` and
+  ``sweep_uncertainty`` produce byte-identical results for ``workers=1``
+  and ``workers=N``.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import run_adaptive, run_dynamic, run_static
+from repro.core.history import PerformanceHistoryRepository
+from repro.core.predictor import (
+    HistoryAdjustedCostModel,
+    Predictor,
+    RatioAdjustedCostModel,
+)
+from repro.experiments.config import RandomExperimentConfig
+from repro.experiments.uncertainty import run_replicated, sweep_uncertainty
+from repro.generators.random_dag import RandomDAGParameters, generate_random_case
+from repro.scenarios import make_scenario, materialize
+from repro.scheduling.validation import (
+    check_no_overlap,
+    check_precedence,
+    validate_schedule,
+)
+from repro.workflow.costs import (
+    ERROR_MODELS,
+    PerturbedCostModel,
+    available_error_models,
+    error_model_summary,
+    make_error_model,
+)
+
+FAMILIES = sorted(ERROR_MODELS)
+
+
+def _case(v: int, seed: int):
+    params = RandomDAGParameters(v=v, out_degree=0.2, ccr=1.0, beta=0.5, omega_dag=300.0)
+    return generate_random_case(params, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# deterministic sampling
+# ----------------------------------------------------------------------
+class TestErrorModelSampling:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        magnitude=st.floats(min_value=0.01, max_value=0.8),
+        seed=st.integers(min_value=0, max_value=10**6),
+        replication=st.integers(min_value=0, max_value=50),
+    )
+    def test_factors_are_pure_functions(self, family, magnitude, seed, replication):
+        """Same key, same factor — regardless of query order or instance."""
+        model = make_error_model(family, magnitude, seed=seed).for_replication(
+            replication
+        )
+        pairs = [(f"j{i}", f"r{j}") for i in range(4) for j in range(3)]
+        forward = {pair: model.factor(*pair) for pair in pairs}
+        # a fresh instance queried in reverse order answers identically
+        twin = make_error_model(family, magnitude, seed=seed).for_replication(
+            replication
+        )
+        backward = {pair: twin.factor(*pair) for pair in reversed(pairs)}
+        assert forward == backward
+        # factors survive the process boundary (the parallel runner pickles)
+        clone = pickle.loads(pickle.dumps(model))
+        assert {pair: clone.factor(*pair) for pair in pairs} == forward
+        for factor in forward.values():
+            assert factor >= model.floor
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_replications_and_scopes_draw_independently(self, family, seed):
+        magnitude = 0.5
+        model = make_error_model(family, magnitude, seed=seed)
+        a = [model.for_replication(0).factor(f"j{i}", "r1") for i in range(12)]
+        b = [model.for_replication(1).factor(f"j{i}", "r1") for i in range(12)]
+        assert a != b
+        c = [model.scoped("t1/0").factor(f"j{i}", "r1") for i in range(12)]
+        assert a != c
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_magnitude_zero_is_null(self, family):
+        model = make_error_model(family, 0.0, seed=3)
+        assert model.is_null
+        assert model.factor("j1", "r1") == 1.0
+        assert model.actual_duration(123.456, "j1", "r1") == 123.456
+
+    def test_resource_bias_is_systematic(self):
+        model = make_error_model("resource_bias", 0.4, seed=7)
+        bias = model.resource_bias("r2")
+        for i in range(8):
+            assert model.factor(f"j{i}", "r2") == bias
+
+    def test_registry_rejects_unknown_names(self):
+        with pytest.raises(KeyError):
+            make_error_model("nope")
+        with pytest.raises(KeyError):
+            error_model_summary("nope")
+        for name in available_error_models():
+            assert error_model_summary(name)
+
+    def test_perturbed_model_perturbs_computation_only(self):
+        case = _case(v=12, seed=4)
+        noisy = PerturbedCostModel(case.costs, make_error_model("gaussian", 0.5, seed=1))
+        exact = PerturbedCostModel(case.costs, make_error_model("gaussian", 0.0))
+        jobs = list(case.workflow.jobs)
+        assert any(
+            noisy.computation_cost(j, "r1") != case.costs.computation_cost(j, "r1")
+            for j in jobs
+        )
+        for j in jobs:
+            # zero noise: bitwise identical to the estimates
+            assert exact.computation_cost(j, "r1") == case.costs.computation_cost(j, "r1")
+        src, dst, _ = next(iter(case.workflow.edges()))
+        assert noisy.communication_cost(src, dst, "r1", "r2") == (
+            case.costs.communication_cost(src, dst, "r1", "r2")
+        )
+        assert noisy.average_communication_cost(src, dst) == (
+            case.costs.average_communication_cost(src, dst)
+        )
+        assert noisy.has_uniform_communication == case.costs.has_uniform_communication
+
+
+# ----------------------------------------------------------------------
+# feasibility invariants under noise
+# ----------------------------------------------------------------------
+class TestExecutionFeasibilityUnderNoise:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        v=st.integers(min_value=8, max_value=28),
+        case_seed=st.integers(min_value=0, max_value=10**6),
+        family=st.sampled_from(FAMILIES),
+        magnitude=st.floats(min_value=0.05, max_value=0.6),
+        scenario_name=st.sampled_from(
+            ["static", "paper", "departures", "churn", "join_burst"]
+        ),
+        scenario_seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_adaptive_actual_trace_is_feasible(
+        self, v, case_seed, family, magnitude, scenario_name, scenario_seed
+    ):
+        case = _case(v=v, seed=case_seed)
+        run = materialize(
+            make_scenario(scenario_name), initial_size=6, seed=scenario_seed
+        )
+        model = make_error_model(family, magnitude, seed=case_seed)
+        result = run_adaptive(
+            case.workflow, case.costs, run.pool, perf_profile=run.profile,
+            error_model=model,
+        )
+        assert result.trace is not None
+        actual = result.trace.to_schedule()
+        # precedence + communication delay + no overlap + availability
+        validate_schedule(case.workflow, case.costs, actual, pool=run.pool)
+        # the achieved makespan is the trace's, never the stale plan's
+        assert result.makespan == result.trace.makespan()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        v=st.integers(min_value=8, max_value=24),
+        case_seed=st.integers(min_value=0, max_value=10**6),
+        family=st.sampled_from(FAMILIES),
+        magnitude=st.floats(min_value=0.05, max_value=0.6),
+        scenario_seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_static_and_dynamic_traces_are_feasible(
+        self, v, case_seed, family, magnitude, scenario_seed
+    ):
+        case = _case(v=v, seed=case_seed)
+        run = materialize(make_scenario("departures"), initial_size=6, seed=scenario_seed)
+        model = make_error_model(family, magnitude, seed=case_seed)
+        for runner in (run_static, run_dynamic):
+            result = runner(
+                case.workflow, case.costs, run.pool, perf_profile=run.profile,
+                error_model=model,
+            )
+            schedule = result.trace.to_schedule()
+            assert check_no_overlap(schedule) == []
+            assert check_precedence(case.workflow, case.costs, schedule) == []
+
+    def test_noise_triggers_deviation_decisions(self):
+        case = _case(v=24, seed=9)
+        run = materialize(make_scenario("static"), initial_size=6, seed=0)
+        result = run_adaptive(
+            case.workflow, case.costs, run.pool, perf_profile=run.profile,
+            error_model=make_error_model("gaussian", 0.5, seed=2),
+        )
+        assert any(d.event == "deviation" for d in result.decisions)
+        # with the trigger disabled the loop only reacts to grid events,
+        # of which the static scenario has none
+        quiet = run_adaptive(
+            case.workflow, case.costs, run.pool, perf_profile=run.profile,
+            error_model=make_error_model("gaussian", 0.5, seed=2),
+            replan_on_deviation=None,
+        )
+        assert quiet.decisions == []
+
+
+# ----------------------------------------------------------------------
+# the Fig. 1 feedback loop
+# ----------------------------------------------------------------------
+class TestPredictorFeedbackLoop:
+    def test_observations_accumulate_and_normalise(self):
+        case = _case(v=20, seed=5)
+        run = materialize(make_scenario("paper"), initial_size=5, seed=1)
+        history = PerformanceHistoryRepository()
+        result = run_adaptive(
+            case.workflow, case.costs, run.pool, perf_profile=run.profile,
+            error_model=make_error_model("resource_bias", 0.4, seed=6),
+            history=history,
+        )
+        assert len(history) == case.workflow.num_jobs
+        truth = PerturbedCostModel(
+            case.costs, make_error_model("resource_bias", 0.4, seed=6)
+        )
+        for record in history.records:
+            # each observation is the sampled ground-truth duration of the
+            # job on the resource it actually executed on
+            expected = truth.computation_cost(record.job_id, record.resource_id)
+            assert record.duration == pytest.approx(expected, rel=1e-9)
+        assert result.trace is not None
+
+    def test_ratio_model_recovers_resource_bias(self):
+        case = _case(v=20, seed=5)
+        error = make_error_model("resource_bias", 0.5, seed=8)
+        truth = PerturbedCostModel(case.costs, error)
+        history = PerformanceHistoryRepository()
+        for job in list(case.workflow.jobs)[:10]:
+            history.record_execution(
+                case.workflow.job(job).operation,
+                "r1",
+                truth.computation_cost(job, "r1"),
+                job_id=job,
+            )
+        model = RatioAdjustedCostModel(case.costs, history, prior_strength=0.0)
+        bias = error.resource_bias("r1")
+        assert model.resource_ratio("r1") == pytest.approx(bias, rel=1e-9)
+        for job in case.workflow.jobs:
+            assert model.computation_cost(job, "r1") == pytest.approx(
+                truth.computation_cost(job, "r1"), rel=1e-9
+            )
+        # unobserved resources keep the prior
+        for job in case.workflow.jobs:
+            assert model.computation_cost(job, "r2") == (
+                case.costs.computation_cost(job, "r2")
+            )
+
+    def test_ratio_shrinkage_discounts_sparse_evidence(self):
+        case = _case(v=12, seed=2)
+        history = PerformanceHistoryRepository()
+        job = next(iter(case.workflow.jobs))
+        prior = case.costs.computation_cost(job, "r1")
+        history.record_execution(
+            case.workflow.job(job).operation, "r1", 3.0 * prior, job_id=job
+        )
+        eager = RatioAdjustedCostModel(case.costs, history, prior_strength=0.0)
+        cautious = RatioAdjustedCostModel(case.costs, history, prior_strength=2.0)
+        assert eager.resource_ratio("r1") == pytest.approx(3.0)
+        assert cautious.resource_ratio("r1") == pytest.approx((3.0 + 2.0) / 3.0)
+
+    def test_blend_interpolates_between_prior_and_observation(self):
+        case = _case(v=12, seed=3)
+        job = next(iter(case.workflow.jobs))
+        operation = case.workflow.job(job).operation
+        prior = case.costs.computation_cost(job, "r1")
+        observed = prior * 1.8
+        history = PerformanceHistoryRepository()
+        history.record_execution(operation, "r1", observed, job_id=job)
+        for blend in (0.0, 0.25, 0.5, 1.0):
+            absolute = HistoryAdjustedCostModel(case.costs, history, blend=blend)
+            assert absolute.computation_cost(job, "r1") == pytest.approx(
+                blend * observed + (1 - blend) * prior
+            )
+            ratio = RatioAdjustedCostModel(
+                case.costs, history, blend=blend, prior_strength=0.0
+            )
+            assert ratio.computation_cost(job, "r1") == pytest.approx(
+                prior * (blend * 1.8 + (1 - blend))
+            )
+
+    def test_history_shared_across_workflows_stays_well_priced(self):
+        """Ratio learning divides each observation by the estimate stored at
+        observation time, so foreign workflows with colliding job ids
+        cannot skew the correction factor."""
+        error = make_error_model("resource_bias", 0.5, seed=11)
+        config_a = RandomExperimentConfig(v=14, resources=5, seed=0, scenario="static")
+        config_b = RandomExperimentConfig(v=14, resources=5, seed=99, scenario="static")
+        case_a = config_a.to_experiment_case().case
+        case_b = config_b.to_experiment_case().case
+        # both generated DAGs reuse the same job identifiers
+        assert set(case_a.workflow.jobs) == set(case_b.workflow.jobs)
+        history = PerformanceHistoryRepository()
+        pool_a = config_a.to_experiment_case().build_scenario_run().pool
+        run_static(
+            case_a.workflow, case_a.costs, pool_a,
+            error_model=error, history=history,
+        )
+        # the supplied history alone forces the simulation (and recording)
+        assert len(history) == case_a.workflow.num_jobs
+        model = RatioAdjustedCostModel(case_b.costs, history, prior_strength=0.0)
+        bias = error.resource_bias("r1")
+        # workflow B's re-estimation on r1 recovers A's observed bias even
+        # though B prices the colliding job ids completely differently
+        assert model.resource_ratio("r1") == pytest.approx(bias, rel=1e-9)
+
+    def test_executor_monitor_normalises_perf_factors(self):
+        """Executor observations divide out known slowdown factors, so a
+        shared history never double-counts a degradation the profile
+        already reports."""
+        case = _case(v=16, seed=6)
+        run = materialize(
+            make_scenario("degradation"), initial_size=5, seed=3
+        )
+        history = PerformanceHistoryRepository()
+        run_static(
+            case.workflow, case.costs, run.pool, perf_profile=run.profile,
+            error_model=make_error_model("gaussian", 0.0), history=history,
+        )
+        truth_free = {
+            (r.job_id, r.resource_id): r.duration for r in history.records
+        }
+        for (job, rid), duration in truth_free.items():
+            # zero noise + normalisation: the observation equals the estimate
+            assert duration == pytest.approx(
+                case.costs.computation_cost(job, rid), rel=1e-9
+            )
+
+    def test_predictor_mode_selection(self):
+        case = _case(v=10, seed=1)
+        history = PerformanceHistoryRepository()
+        job = next(iter(case.workflow.jobs))
+        history.record_execution(case.workflow.job(job).operation, "r1", 5.0, job_id=job)
+        assert isinstance(
+            Predictor(history, mode="ratio").estimate(case.costs),
+            RatioAdjustedCostModel,
+        )
+        assert isinstance(
+            Predictor(history, mode="absolute").estimate(case.costs),
+            HistoryAdjustedCostModel,
+        )
+        # empty history: the prior passes through untouched
+        assert Predictor(PerformanceHistoryRepository()).estimate(case.costs) is case.costs
+        with pytest.raises(ValueError):
+            Predictor(history, mode="nope")
+
+    def test_accept_rule_plans_with_reestimated_model(self):
+        """After observations accumulate, reschedule sees the ratio model."""
+        from repro.scheduling.aheft import AHEFTScheduler
+
+        seen = []
+
+        class SpyScheduler(AHEFTScheduler):
+            def reschedule(self, workflow, costs, resources, **kwargs):
+                seen.append(costs)
+                return super().reschedule(workflow, costs, resources, **kwargs)
+
+        case = _case(v=20, seed=7)
+        run = materialize(make_scenario("paper"), initial_size=5, seed=2)
+        history = PerformanceHistoryRepository()
+        run_adaptive(
+            case.workflow, case.costs, run.pool, perf_profile=run.profile,
+            error_model=make_error_model("resource_bias", 0.5, seed=4),
+            history=history, scheduler=SpyScheduler(),
+        )
+        assert seen, "no rescheduling decision was evaluated"
+        reestimated = [
+            model for model in seen if isinstance(model, RatioAdjustedCostModel)
+        ]
+        assert reestimated, "accept rule never saw the re-estimated model"
+        # the re-estimated model really answers with history-corrected costs
+        model = reestimated[-1]
+        resource = model.history.records[0].resource_id
+        ratio = model.resource_ratio(resource)
+        job = next(iter(case.workflow.jobs))
+        assert model.computation_cost(job, resource) == pytest.approx(
+            case.costs.computation_cost(job, resource) * ratio
+        )
+
+
+# ----------------------------------------------------------------------
+# determinism under parallelism
+# ----------------------------------------------------------------------
+def _point_payload(points):
+    return json.dumps([point.as_dict() for point in points], sort_keys=True)
+
+
+class TestReplicationDeterminism:
+    def test_run_replicated_workers_match(self):
+        config = RandomExperimentConfig(v=14, resources=5, seed=0, scenario="paper")
+        experiment = config.to_experiment_case()
+        model = make_error_model("gaussian", 0.3, seed=0)
+        serial = run_replicated(
+            experiment, error_model=model, replications=4, workers=1
+        )
+        parallel = run_replicated(
+            experiment, error_model=model, replications=4, workers=2
+        )
+        assert serial.makespans == parallel.makespans
+        assert serial.improvements == parallel.improvements
+        assert serial.stats == parallel.stats
+
+    def test_sweep_uncertainty_workers_match(self):
+        base = RandomExperimentConfig(v=14, resources=5, seed=0)
+        kwargs = dict(
+            error_model="resource_bias",
+            scenarios=("paper",),
+            base_config=base,
+            instances=2,
+            replications=2,
+            seed=0,
+        )
+        serial = sweep_uncertainty([0.0, 0.4], workers=1, **kwargs)
+        parallel = sweep_uncertainty([0.0, 0.4], workers=3, **kwargs)
+        assert _point_payload(serial) == _point_payload(parallel)
+
+    def test_repro_bench_workers_env_cannot_change_a_digit(self, monkeypatch):
+        """The benchmark harness's REPRO_BENCH_WORKERS knob is inert on
+        results: whatever worker count it parses, the sweep's payload is
+        byte-identical to the serial run."""
+        import importlib
+        import sys
+
+        bench_dir = str(
+            __import__("pathlib").Path(__file__).resolve().parent.parent / "benchmarks"
+        )
+        monkeypatch.syspath_prepend(bench_dir)
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
+        sys.modules.pop("_common", None)
+        common = importlib.import_module("_common")
+        try:
+            assert common.WORKERS == 3
+            base = RandomExperimentConfig(v=12, resources=4, seed=0)
+            kwargs = dict(
+                error_model="gaussian",
+                scenarios=("paper",),
+                base_config=base,
+                instances=1,
+                replications=2,
+                seed=0,
+            )
+            env_driven = sweep_uncertainty([0.3], workers=common.WORKERS, **kwargs)
+            serial = sweep_uncertainty([0.3], workers=None, **kwargs)
+            assert _point_payload(env_driven) == _point_payload(serial)
+        finally:
+            sys.modules.pop("_common", None)
+
+    def test_replications_share_workload_but_not_truth(self):
+        config = RandomExperimentConfig(v=14, resources=5, seed=0, scenario="paper")
+        experiment = config.to_experiment_case()
+        summary = run_replicated(
+            experiment,
+            error_model=make_error_model("gaussian", 0.4, seed=0),
+            replications=4,
+        )
+        assert len(summary.makespans["HEFT"]) == 4
+        assert len(set(summary.makespans["HEFT"])) > 1
+        assert summary.improvement_stats.count == 4
+
+    def test_zero_magnitude_replications_are_degenerate(self):
+        config = RandomExperimentConfig(v=14, resources=5, seed=0, scenario="paper")
+        experiment = config.to_experiment_case()
+        summary = run_replicated(
+            experiment,
+            error_model=make_error_model("gaussian", 0.0, seed=0),
+            replications=3,
+        )
+        for values in summary.makespans.values():
+            assert len(set(values)) == 1
+        for stat in summary.stats.values():
+            assert stat.minimum == stat.maximum
+            assert stat.ci95_half == pytest.approx(0.0, abs=1e-9)
