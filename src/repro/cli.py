@@ -1,9 +1,11 @@
 """``python -m repro`` — the reproduction's command-line interface.
 
-Six subcommands make the benchmark matrix scriptable from CI and from a
+Seven subcommands make the benchmark matrix scriptable from CI and from a
 shell alike:
 
 * ``repro scenarios`` — list the registered grid-dynamics scenarios;
+* ``repro strategies`` — list the registered scheduling strategies
+  (name, kind, constructor parameters);
 * ``repro run <bench>`` — run a benchmark script from ``benchmarks/`` by
   (fuzzy) name, forwarding extra arguments (e.g. ``repro run kernel --
   --quick``);
@@ -67,6 +69,60 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     for name in available_scenarios():
         print(f"{name:<{width}}  {scenario_summary(name)}")
     return EXIT_OK
+
+
+# ----------------------------------------------------------------------
+# repro strategies
+# ----------------------------------------------------------------------
+def _cmd_strategies(args: argparse.Namespace) -> int:
+    from repro.scheduling.registry import (
+        available_schedulers,
+        scheduler_kind,
+        scheduler_parameters,
+        scheduler_summary,
+    )
+
+    if args.json:
+        payload = {
+            name: {
+                "kind": scheduler_kind(name),
+                "summary": scheduler_summary(name),
+                "params": scheduler_parameters(name),
+            }
+            for name in available_schedulers()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return EXIT_OK
+    names = available_schedulers()
+    width = max(len(name) for name in names)
+    kind_width = max(len(scheduler_kind(name)) for name in names)
+    for name in names:
+        params = ", ".join(
+            f"{key}={value}" for key, value in scheduler_parameters(name).items()
+        )
+        line = (
+            f"{name:<{width}}  {scheduler_kind(name):<{kind_width}}  "
+            f"{scheduler_summary(name)}"
+        )
+        if params:
+            line += f"  [{params}]"
+        print(line)
+    return EXIT_OK
+
+
+def _parse_strategies(raw: str) -> List[str]:
+    """Split and validate a comma-separated strategy list."""
+    from repro.experiments.runner import resolve_strategy_runner
+
+    strategies = [s.strip() for s in raw.split(",") if s.strip()]
+    if not strategies:
+        raise CliError("--strategies must name at least one strategy")
+    for name in strategies:
+        try:
+            resolve_strategy_runner(name)
+        except (KeyError, ValueError) as error:
+            raise CliError(str(error).strip('"')) from None
+    return strategies
 
 
 # ----------------------------------------------------------------------
@@ -206,7 +262,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resources=resources,
         seed=args.seed,
     )
-    strategies = tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+    strategies = tuple(_parse_strategies(args.strategies))
     points = sweep_scenarios(
         scenarios,
         base_config=base,
@@ -273,6 +329,16 @@ def _cmd_multi(args: argparse.Namespace) -> int:
             f"unknown policies {unknown_policies or args.policies!r}; "
             f"choose from {', '.join(POLICIES)}"
         )
+    from repro.core.adaptive import resolve_strategy
+
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    if not strategies:
+        raise CliError("--strategies must name at least one strategy")
+    for name in strategies:
+        try:
+            resolve_strategy(name, None, require="reschedule")
+        except (KeyError, ValueError) as error:
+            raise CliError(str(error).strip('"')) from None
     base = MultiTenantConfig(
         resources=resources,
         scenario_params=tuple(sorted(scenario_params.items())),
@@ -289,6 +355,7 @@ def _cmd_multi(args: argparse.Namespace) -> int:
         tenant_counts=[args.tenants],
         scenarios=scenarios,
         policies=policies,
+        strategies=strategies,
         base_config=base,
         seed=args.seed,
     )
@@ -305,6 +372,7 @@ def _cmd_multi(args: argparse.Namespace) -> int:
         "tenants": args.tenants,
         "arrival_rate": args.arrival_rate,
         "policies": policies,
+        "strategies": strategies,
         "scenario_params": scenario_params,
         "points": [point.as_dict() for point in points],
         "lines": table.splitlines(),
@@ -355,7 +423,7 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     replications = args.replications if args.replications is not None else (
         3 if args.quick else 5
     )
-    strategies = tuple(s.strip() for s in args.strategies.split(",") if s.strip())
+    strategies = tuple(_parse_strategies(args.strategies))
     base = RandomExperimentConfig(
         v=v,
         ccr=args.ccr,
@@ -540,6 +608,39 @@ def _scenario_help() -> str:
     )
 
 
+def _strategy_help(*, adaptive_only: bool = False) -> str:
+    """Enumerate the registered strategies so help text can never drift.
+
+    New strategies register themselves in
+    :data:`repro.scheduling.registry.SCHEDULERS`; building the string
+    dynamically keeps ``--help`` (and the CLI contract tests asserting on
+    it) in sync with the registry automatically.
+    """
+    from repro.scheduling.registry import (
+        available_schedulers,
+        make_scheduler,
+        scheduler_kind,
+    )
+
+    names = available_schedulers()
+    if adaptive_only:
+        names = [n for n in names if hasattr(make_scheduler(n), "reschedule")]
+        return (
+            "comma-separated replanning strategies; registered: "
+            + ", ".join(names)
+        )
+    from repro.experiments.runner import STRATEGY_RUNNERS
+
+    parts = [f"{name} ({scheduler_kind(name)})" for name in names]
+    return (
+        "comma-separated strategy names; registered: "
+        + ", ".join(parts)
+        + "; legacy runners: "
+        + ", ".join(sorted(STRATEGY_RUNNERS))
+        + "; prefix adaptive:<name> runs any replanning strategy adaptively"
+    )
+
+
 def _error_model_help() -> str:
     """Enumerate the registered error families so help text cannot drift.
 
@@ -566,6 +667,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_scn = sub.add_parser("scenarios", help="list registered grid-dynamics scenarios")
     p_scn.add_argument("--json", action="store_true", help="machine-readable output")
     p_scn.set_defaults(func=_cmd_scenarios)
+
+    p_str = sub.add_parser(
+        "strategies", help="list registered scheduling strategies (name, kind, params)"
+    )
+    p_str.add_argument("--json", action="store_true", help="machine-readable output")
+    p_str.set_defaults(func=_cmd_strategies)
 
     p_run = sub.add_parser("run", help="run a benchmark from benchmarks/ by name")
     p_run.add_argument("bench", nargs="?", help="benchmark name (fuzzy match)")
@@ -604,7 +711,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--instances", type=int, default=None, help="instances averaged")
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument(
-        "--strategies", default="HEFT,AHEFT,MinMin", help="comma-separated strategy names"
+        "--strategies", default="HEFT,AHEFT,MinMin", help=_strategy_help()
     )
     p_sweep.add_argument("--workers", type=int, default=None, help="parallel case workers")
     p_sweep.add_argument(
@@ -640,6 +747,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--policies",
         default="fifo",
         help="comma-separated interleave policies (fifo, fair_share, rank_priority)",
+    )
+    p_multi.add_argument(
+        "--strategies",
+        default="aheft",
+        help=_strategy_help(adaptive_only=True),
     )
     p_multi.add_argument("--name", default="multi_tenant", help="ledger name")
     p_multi.add_argument("--out", help="ledger path (default benchmarks/results/<name>.json)")
@@ -682,7 +794,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help=_scenario_help() + " (default: paper)",
     )
     p_mc.add_argument(
-        "--strategies", default="HEFT,AHEFT", help="comma-separated strategy names"
+        "--strategies", default="HEFT,AHEFT", help=_strategy_help()
     )
     p_mc.add_argument("--name", default="uncertainty", help="ledger name")
     p_mc.add_argument("--out", help="ledger path (default benchmarks/results/<name>.json)")

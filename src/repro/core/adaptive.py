@@ -52,6 +52,7 @@ __all__ = [
     "describe_pool_event",
     "project_actuals",
     "repair_schedule",
+    "resolve_strategy",
     "run_static",
     "run_adaptive",
     "run_dynamic",
@@ -78,6 +79,12 @@ def apply_departure_kills(
     away, the set of killed job ids, and the infeasibility flag.  Shared by
     the single-workflow :class:`AdaptiveReschedulingLoop` and the
     multi-tenant planner so both apply identical departure semantics.
+
+    Duplicate copies (HEFT with task duplication) count towards
+    infeasibility too: an unfinished duplicate stranded on a departing
+    resource invalidates the consumers planned around its local data, so
+    the replacement candidate — which re-derives duplicates from scratch
+    on the surviving pool — must be adopted unconditionally.
     """
     wasted = 0.0
     killed: set = set()
@@ -100,6 +107,9 @@ def apply_departure_kills(
             assignment = schedule.get(job)
             if assignment is not None and assignment.resource_id in removed:
                 forced = True
+    for duplicate in schedule.duplicates:
+        if duplicate.resource_id in removed and duplicate.finish > clock + TIME_EPS:
+            forced = True
     return wasted, killed, forced
 
 
@@ -523,6 +533,10 @@ class AdaptiveReschedulingLoop:
             synced = Schedule(name=plan.name)
             changed = False
             clock = state.clock
+            for duplicate in plan.duplicates:
+                # started duplicate executions are facts (see repair_schedule)
+                if duplicate.start <= clock + TIME_EPS:
+                    synced.add_duplicate(duplicate)
             for job in workflow.jobs:
                 booked = plan.get(job)
                 if state.is_finished(job):
@@ -740,6 +754,22 @@ def repair_schedule(
     finish_new: Dict[str, float] = {}
     free: Dict[str, float] = {}
 
+    # Historical duplicates (duplication-based strategies) that began
+    # executing by ``clock`` are facts: keep them so the pinned history
+    # stays precedence-feasible, and block their resources while they run.
+    # Future duplicates are dropped — the re-timing below prices every
+    # not-started job off the primary copies, which is feasible without
+    # them, and the next real replanning pass re-derives duplicates.
+    for duplicate in schedule.duplicates:
+        if duplicate.start > clock + TIME_EPS:
+            continue
+        if duplicate.resource_id not in available and duplicate.finish > clock + TIME_EPS:
+            continue
+        repaired.add_duplicate(duplicate)
+        if duplicate.finish > clock + TIME_EPS:
+            rid = duplicate.resource_id
+            free[rid] = max(free.get(rid, clock), duplicate.finish)
+
     for job in workflow.jobs:
         if state.is_finished(job):
             assignment = Assignment(
@@ -926,6 +956,38 @@ def describe_pool_event(event: PoolEvent) -> str:
 # ----------------------------------------------------------------------
 # strategy runners
 # ----------------------------------------------------------------------
+def resolve_strategy(
+    strategy: Optional[str],
+    scheduler,
+    *,
+    require: Optional[str] = None,
+    default=None,
+):
+    """Resolve the ``strategy=`` / ``scheduler=`` pair of a runner.
+
+    ``strategy`` is a name from the scheduling registry
+    (:data:`repro.scheduling.registry.SCHEDULERS`); ``scheduler`` is an
+    explicit object — passing both is ambiguous and rejected.  ``require``
+    names an interface the resolved object must provide (``"reschedule"``
+    for the adaptive loop, ``"map_ready_jobs"`` for the just-in-time
+    executor, ``"schedule"`` for plan-once execution).
+    """
+    if strategy is not None and scheduler is not None:
+        raise ValueError("pass either strategy= or scheduler=, not both")
+    if strategy is not None:
+        from repro.scheduling.registry import make_scheduler
+
+        scheduler = make_scheduler(strategy)
+    if scheduler is None:
+        scheduler = default() if default is not None else None
+    if require and scheduler is not None and not hasattr(scheduler, require):
+        raise ValueError(
+            f"strategy {strategy or getattr(scheduler, 'name', scheduler)!r} "
+            f"does not provide the {require!r} interface required here"
+        )
+    return scheduler
+
+
 def _pool_has_departures(pool: ResourcePool) -> bool:
     return any(
         pool.resource(rid).available_until is not None
@@ -952,6 +1014,7 @@ def run_static(
     pool: ResourcePool,
     *,
     scheduler: Optional[HEFTScheduler] = None,
+    strategy: Optional[str] = None,
     actual_costs: Optional[CostModel] = None,
     error_model: Optional[ErrorModel] = None,
     history: Optional[PerformanceHistoryRepository] = None,
@@ -971,8 +1034,13 @@ def run_static(
     estimates (see :class:`~repro.workflow.costs.ErrorModel`); observed
     executions are reported to the optional ``history`` repository — the
     static strategy never replans, so the history only benefits later runs.
+    ``strategy`` names any registered scheduler (see
+    :data:`repro.scheduling.registry.SCHEDULERS`) as an alternative to an
+    explicit ``scheduler`` object.
     """
-    scheduler = scheduler or HEFTScheduler()
+    scheduler = resolve_strategy(
+        strategy, scheduler, require="schedule", default=HEFTScheduler
+    )
     initial_resources = pool.available_at(0.0)
     if not initial_resources:
         raise ValueError("no resources available at time 0")
@@ -1016,6 +1084,7 @@ def run_adaptive(
     pool: ResourcePool,
     *,
     scheduler: Optional[AHEFTScheduler] = None,
+    strategy: Optional[str] = None,
     accept_only_if_better: bool = True,
     perf_profile=None,
     actual_costs: Optional[CostModel] = None,
@@ -1042,9 +1111,17 @@ def run_adaptive(
     an observed completion misses its booking by the given fraction of the
     booked duration (``None`` limits replanning to grid events, as in the
     analytic loop).
+
+    ``strategy`` injects any registered scheduler with the ``reschedule``
+    interface into the loop (``run_adaptive(strategy="cpop")`` runs a
+    CPOP-based adaptive loop) — the ablation hook that compares the
+    paper's AHEFT against every other heuristic run adaptively.
     """
     loop = AdaptiveReschedulingLoop(
-        scheduler or AHEFTScheduler(), accept_only_if_better=accept_only_if_better
+        resolve_strategy(
+            strategy, scheduler, require="reschedule", default=AHEFTScheduler
+        ),
+        accept_only_if_better=accept_only_if_better,
     )
     explicit_truth = actual_costs is not None
     actual_costs = _resolve_actual_costs(costs, actual_costs, error_model)
@@ -1079,17 +1156,24 @@ def run_dynamic(
     pool: ResourcePool,
     *,
     mapper=None,
+    strategy: Optional[str] = None,
     actual_costs: Optional[CostModel] = None,
     error_model: Optional[ErrorModel] = None,
     history: Optional[PerformanceHistoryRepository] = None,
     perf_profile=None,
 ) -> AdaptiveRunResult:
-    """Dynamic just-in-time strategy executed on the event simulator."""
+    """Dynamic just-in-time strategy executed on the event simulator.
+
+    ``strategy`` names any registered scheduler with the batch
+    ``map_ready_jobs`` interface (minmin, maxmin, sufferage).
+    """
     executor = JustInTimeExecutor(
         workflow,
         costs,
         pool,
-        mapper=mapper or MinMinScheduler(),
+        mapper=resolve_strategy(
+            strategy, mapper, require="map_ready_jobs", default=MinMinScheduler
+        ),
         actual_costs=_resolve_actual_costs(costs, actual_costs, error_model),
         perf_profile=perf_profile,
         history=history,

@@ -115,6 +115,12 @@ class MultiTenantPlanner:
     scheduler_factory:
         Called once per admitted workflow; must produce an object with the
         ``reschedule`` interface of :class:`AHEFTScheduler`.
+    strategy:
+        Alternative to ``scheduler_factory``: the name of any registered
+        scheduler with the ``reschedule`` interface (see
+        :data:`repro.scheduling.registry.SCHEDULERS`) — every tenant then
+        replans with that heuristic instead of AHEFT, the strategy-ablation
+        hook of the multi-tenant tournament.
     accept_only_if_better, epsilon:
         The accept rule of paper Fig. 2 line 7, identical to
         :class:`~repro.core.adaptive.AdaptiveReschedulingLoop`.
@@ -127,12 +133,24 @@ class MultiTenantPlanner:
         perf_profile=None,
         policy: str = "fifo",
         tenant_weights: Optional[Dict[str, float]] = None,
-        scheduler_factory: Callable[[], AHEFTScheduler] = AHEFTScheduler,
+        scheduler_factory: Optional[Callable[[], AHEFTScheduler]] = None,
+        strategy: Optional[str] = None,
         accept_only_if_better: bool = True,
         epsilon: float = 1e-9,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if strategy is not None:
+            if scheduler_factory is not None:
+                raise ValueError(
+                    "pass either strategy= or scheduler_factory=, not both"
+                )
+            from repro.core.adaptive import resolve_strategy
+
+            resolve_strategy(strategy, None, require="reschedule")  # validate early
+            scheduler_factory = self._strategy_factory(strategy)
+        elif scheduler_factory is None:
+            scheduler_factory = AHEFTScheduler
         self.pool = pool
         self.perf_profile = perf_profile
         self.policy = policy
@@ -144,6 +162,15 @@ class MultiTenantPlanner:
         self._perf_times: Set[float] = (
             set(perf_profile.change_times()) if perf_profile is not None else set()
         )
+
+    @staticmethod
+    def _strategy_factory(strategy: str) -> Callable[[], AHEFTScheduler]:
+        def factory():
+            from repro.scheduling.registry import make_scheduler
+
+            return make_scheduler(strategy)
+
+        return factory
 
     # ------------------------------------------------------------------
     # queries
@@ -167,7 +194,8 @@ class MultiTenantPlanner:
                 continue
             if wf.schedule.makespan() <= clock:
                 continue
-            for assignment in wf.schedule:
+            # duplicates (duplication-based strategies) occupy slots too
+            for assignment in wf.schedule.all_assignments():
                 if assignment.finish <= clock:
                     continue
                 busy.setdefault(assignment.resource_id, []).append(

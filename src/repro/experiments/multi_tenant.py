@@ -44,6 +44,8 @@ class MultiTenantConfig:
     tenants: int = 4
     arrival_rate: float = 0.005
     policy: str = "fifo"
+    #: registered scheduler every tenant replans with (``reschedule`` kinds)
+    strategy: str = "aheft"
     resources: int = 10
     scenario: str = "static"
     scenario_params: Tuple[Tuple[str, object], ...] = ()
@@ -90,6 +92,7 @@ class MultiTenantConfig:
             "tenants": self.tenants,
             "arrival_rate": self.arrival_rate,
             "policy": self.policy,
+            "strategy": self.strategy,
             "resources": self.resources,
             "scenario": self.scenario,
             "scenario_params": dict(self.scenario_params),
@@ -236,6 +239,7 @@ def run_multi_tenant_case(
         perf_profile=scenario_run.profile,
         policy=config.policy,
         tenant_weights=stream.weights(),
+        strategy=config.strategy,
     )
     result = executor.run()
     per_tenant = {

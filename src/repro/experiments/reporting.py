@@ -156,6 +156,7 @@ def render_multi_tenant_matrix(
     headers = [
         "scenario",
         "policy",
+        "strategy",
         "tenants",
         "rate",
         "wfs",
@@ -172,6 +173,7 @@ def render_multi_tenant_matrix(
             [
                 point.scenario,
                 point.policy,
+                point.strategy,
                 point.tenants,
                 f"{point.arrival_rate:g}",
                 point.workflows,

@@ -27,11 +27,19 @@ __all__ = [
     "CaseResult",
     "run_case",
     "run_case_batch",
+    "available_strategy_names",
+    "resolve_strategy_runner",
     "STRATEGY_RUNNERS",
 ]
 
 #: strategy name -> runner(workflow, costs, pool, **kwargs) -> AdaptiveRunResult
-#: (``perf_profile=...`` is forwarded for scenario runs)
+#: (``perf_profile=...`` is forwarded for scenario runs).  These legacy
+#: capitalised names predate the scheduling registry and are kept because
+#: committed benchmark baselines key on them; every *registry* name
+#: (``heft``, ``cpop``, ``heft_dup``, ...) resolves through
+#: :func:`resolve_strategy_runner` as well, plus the ``adaptive:<name>``
+#: prefix that runs any replanning-capable strategy inside the adaptive
+#: loop (the AHEFT ablation hook).
 STRATEGY_RUNNERS: Dict[str, Callable] = {
     "HEFT": lambda wf, costs, pool, **kw: run_static(
         wf, costs, pool, scheduler=HEFTScheduler(), **kw
@@ -52,6 +60,54 @@ STRATEGY_RUNNERS: Dict[str, Callable] = {
         wf, costs, pool, scheduler=AHEFTScheduler(), accept_only_if_better=False, **kw
     ),
 }
+
+#: prefix that forces a registry strategy through the adaptive loop
+ADAPTIVE_PREFIX = "adaptive:"
+
+
+def resolve_strategy_runner(name: str) -> Callable:
+    """Runner for a legacy name, a registry name, or ``adaptive:<name>``."""
+    if name in STRATEGY_RUNNERS:
+        return STRATEGY_RUNNERS[name]
+    from repro.scheduling.registry import SCHEDULERS
+
+    base = name
+    force_adaptive = False
+    if name.startswith(ADAPTIVE_PREFIX):
+        base = name[len(ADAPTIVE_PREFIX):]
+        force_adaptive = True
+    info = SCHEDULERS.get(base)
+    if info is None:
+        raise KeyError(
+            f"unknown strategy {name!r}; available: {available_strategy_names()}"
+        )
+    if force_adaptive or info.kind == "adaptive":
+        from repro.scheduling.registry import make_scheduler
+
+        if not hasattr(make_scheduler(base), "reschedule"):
+            # reject at resolution time so callers (the CLI in particular)
+            # fail fast instead of crashing mid-sweep
+            raise KeyError(
+                f"strategy {name!r}: {base!r} cannot replan "
+                "(no reschedule interface)"
+            )
+        return lambda wf, costs, pool, **kw: run_adaptive(
+            wf, costs, pool, strategy=base, **kw
+        )
+    if info.kind == "dynamic":
+        return lambda wf, costs, pool, **kw: run_dynamic(
+            wf, costs, pool, strategy=base, **kw
+        )
+    return lambda wf, costs, pool, **kw: run_static(
+        wf, costs, pool, strategy=base, **kw
+    )
+
+
+def available_strategy_names() -> List[str]:
+    """Every name :func:`resolve_strategy_runner` accepts (prefix aside)."""
+    from repro.scheduling.registry import available_schedulers
+
+    return sorted(set(STRATEGY_RUNNERS) | set(available_schedulers()))
 
 
 @dataclass
@@ -153,10 +209,15 @@ def run_case(
     while planning on the unperturbed estimates — the estimate-error
     dimension of the uncertainty experiments.
     """
-    runners = dict(runners or STRATEGY_RUNNERS)
-    unknown = [s for s in strategies if s not in runners]
-    if unknown:
-        raise KeyError(f"unknown strategies: {unknown}; available: {sorted(runners)}")
+    if runners is None:
+        runners = {name: resolve_strategy_runner(name) for name in strategies}
+    else:
+        runners = dict(runners)
+        unknown = [s for s in strategies if s not in runners]
+        if unknown:
+            raise KeyError(
+                f"unknown strategies: {unknown}; available: {sorted(runners)}"
+            )
 
     makespans: Dict[str, float] = {}
     rescheduling_counts: Dict[str, int] = {}

@@ -36,12 +36,13 @@ __all__ = [
 
 @dataclass
 class MultiWorkflowPoint:
-    """One cell of the multi-tenant matrix: (scenario, tenants, rate, policy)."""
+    """One cell of the multi-tenant matrix: (strategy, scenario, tenants, rate, policy)."""
 
     scenario: str
     tenants: int
     arrival_rate: float
     policy: str
+    strategy: str
     workflows: int
     run_makespan: float
     mean_flow_time: float
@@ -60,6 +61,7 @@ class MultiWorkflowPoint:
             "tenants": self.tenants,
             "arrival_rate": self.arrival_rate,
             "policy": self.policy,
+            "strategy": self.strategy,
             "workflows": self.workflows,
             "run_makespan": self.run_makespan,
             "mean_flow_time": self.mean_flow_time,
@@ -317,18 +319,23 @@ def sweep_multi_workflow(
     tenant_counts: Sequence[int] = (4,),
     scenarios: Sequence[str] = ("static",),
     policies: Sequence[str] = ("fifo",),
+    strategies: Sequence[str] = ("aheft",),
     base_config=None,
     seed: Optional[int] = None,
 ) -> List["MultiWorkflowPoint"]:
-    """The multi-tenant matrix: arrival rate × tenant count × scenario × policy.
+    """The multi-tenant matrix: rate × tenants × scenario × policy × strategy.
 
     Every cell runs one deterministic multi-tenant case (see
     :func:`~repro.experiments.multi_tenant.run_multi_tenant_case`) derived
     from ``base_config`` with the cell's parameters substituted.  The same
     seed is used across cells, so a tenant's arrival stream is identical in
-    every scenario/policy cell with the same tenant count — differences
-    between rows are caused by the dynamics and the policy, not by workload
-    sampling noise.
+    every scenario/policy/strategy cell with the same tenant count —
+    differences between rows are caused by the dynamics, the policy and
+    the replanning heuristic, not by workload sampling noise.
+
+    ``strategies`` names registered schedulers with the ``reschedule``
+    interface (``aheft``, ``cpop``, ``heft_dup``, ...): every tenant in a
+    cell replans with that heuristic.
     """
     from repro.experiments.multi_tenant import (
         MultiTenantConfig,
@@ -343,37 +350,40 @@ def sweep_multi_workflow(
         for tenants in tenant_counts:
             for rate in arrival_rates:
                 for policy in policies:
-                    config = replace(
-                        base,
-                        scenario=scenario,
-                        tenants=int(tenants),
-                        arrival_rate=float(rate),
-                        policy=policy,
-                    )
-                    outcome = run_multi_tenant_case(config)
-                    points.append(
-                        MultiWorkflowPoint(
+                    for strategy in strategies:
+                        config = replace(
+                            base,
                             scenario=scenario,
                             tenants=int(tenants),
                             arrival_rate=float(rate),
                             policy=policy,
-                            workflows=outcome.workflows,
-                            run_makespan=outcome.run_makespan,
-                            mean_flow_time=outcome.mean_flow_time,
-                            p95_flow_time=outcome.p95_flow_time,
-                            mean_stretch=outcome.mean_stretch,
-                            throughput=outcome.throughput,
-                            fairness=outcome.fairness,
-                            wasted_work=outcome.wasted_work,
-                            killed_jobs=outcome.killed_jobs,
-                            per_tenant={
-                                tenant: metrics.as_dict()
-                                for tenant, metrics in sorted(
-                                    outcome.per_tenant.items()
-                                )
-                            },
+                            strategy=strategy,
                         )
-                    )
+                        outcome = run_multi_tenant_case(config)
+                        points.append(
+                            MultiWorkflowPoint(
+                                scenario=scenario,
+                                tenants=int(tenants),
+                                arrival_rate=float(rate),
+                                policy=policy,
+                                strategy=strategy,
+                                workflows=outcome.workflows,
+                                run_makespan=outcome.run_makespan,
+                                mean_flow_time=outcome.mean_flow_time,
+                                p95_flow_time=outcome.p95_flow_time,
+                                mean_stretch=outcome.mean_stretch,
+                                throughput=outcome.throughput,
+                                fairness=outcome.fairness,
+                                wasted_work=outcome.wasted_work,
+                                killed_jobs=outcome.killed_jobs,
+                                per_tenant={
+                                    tenant: metrics.as_dict()
+                                    for tenant, metrics in sorted(
+                                        outcome.per_tenant.items()
+                                    )
+                                },
+                            )
+                        )
     return points
 
 

@@ -14,6 +14,16 @@ The package exposes:
   partially executed workflow (Equations 1–3),
 * dynamic baselines (Min-Min, Max-Min, Sufferage) in
   :mod:`~repro.scheduling.minmin` and :mod:`~repro.scheduling.baselines`,
+* the wider strategy zoo — :func:`~repro.scheduling.cpop.cpop_reschedule`
+  (critical-path-on-a-processor),
+  :func:`~repro.scheduling.lookahead.lookahead_heft_reschedule`
+  (child-aware EFT placement) and
+  :func:`~repro.scheduling.duplication.heft_dup_reschedule` (HEFT with
+  task duplication), all built on the shared partial-rescheduling frame
+  of :mod:`~repro.scheduling.frame`,
+* the **strategy registry** (:data:`~repro.scheduling.registry.SCHEDULERS`
+  + :func:`~repro.scheduling.registry.make_scheduler`) naming every
+  strategy for the sweeps, the CLI and the universal invariant tests,
 * schedule feasibility validation in :mod:`~repro.scheduling.validation`.
 """
 
@@ -32,6 +42,23 @@ from repro.scheduling.baselines import (
     SufferageScheduler,
     RandomStaticScheduler,
     OpportunisticLoadBalancer,
+)
+from repro.scheduling.frame import PartialScheduleFrame
+from repro.scheduling.cpop import CPOPScheduler, cpop_reschedule
+from repro.scheduling.lookahead import (
+    LookaheadHEFTScheduler,
+    lookahead_heft_reschedule,
+)
+from repro.scheduling.duplication import HEFTDupScheduler, heft_dup_reschedule
+from repro.scheduling.registry import (
+    SCHEDULERS,
+    StrategyInfo,
+    available_schedulers,
+    make_scheduler,
+    register_scheduler,
+    scheduler_kind,
+    scheduler_parameters,
+    scheduler_summary,
 )
 from repro.scheduling.validation import (
     ScheduleValidationError,
@@ -57,6 +84,21 @@ __all__ = [
     "SufferageScheduler",
     "RandomStaticScheduler",
     "OpportunisticLoadBalancer",
+    "PartialScheduleFrame",
+    "CPOPScheduler",
+    "cpop_reschedule",
+    "LookaheadHEFTScheduler",
+    "lookahead_heft_reschedule",
+    "HEFTDupScheduler",
+    "heft_dup_reschedule",
+    "SCHEDULERS",
+    "StrategyInfo",
+    "available_schedulers",
+    "make_scheduler",
+    "register_scheduler",
+    "scheduler_kind",
+    "scheduler_parameters",
+    "scheduler_summary",
     "ScheduleValidationError",
     "validate_schedule",
     "check_precedence",

@@ -200,11 +200,23 @@ class ResourceTimeline:
 
 
 class Schedule:
-    """A complete or partial mapping of workflow jobs onto resources."""
+    """A complete or partial mapping of workflow jobs onto resources.
+
+    Besides the *primary* assignment per job, a schedule may carry
+    **duplicates**: redundant executions of a job on additional resources,
+    produced by duplication-based heuristics (HEFT with task duplication).
+    A duplicate re-runs an already-mapped job closer to a consumer so the
+    consumer can start from the local copy instead of waiting for the
+    transfer from the primary site.  Duplicates occupy processor time (the
+    no-overlap invariant covers them) and act as extra data sources for the
+    precedence invariant, but the job's status, finish time and makespan
+    contribution always come from the primary assignment.
+    """
 
     def __init__(self, *, name: str = "schedule") -> None:
         self.name = name
         self._assignments: Dict[str, Assignment] = {}
+        self._duplicates: List[Assignment] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -217,9 +229,14 @@ class Schedule:
         for assignment in assignments:
             self.add(assignment)
 
+    def add_duplicate(self, assignment: Assignment) -> None:
+        """Record a redundant copy of an already-known job."""
+        self._duplicates.append(assignment)
+
     def copy(self, *, name: Optional[str] = None) -> "Schedule":
         out = Schedule(name=name or self.name)
         out._assignments = dict(self._assignments)
+        out._duplicates = list(self._duplicates)
         return out
 
     # ------------------------------------------------------------------
@@ -272,6 +289,27 @@ class Schedule:
         out.sort(key=lambda a: (a.start, a.finish, a.job_id))
         return out
 
+    @property
+    def duplicates(self) -> List[Assignment]:
+        """Redundant copies recorded by duplication-based heuristics."""
+        return list(self._duplicates)
+
+    def duplicates_of(self, job_id: str) -> List[Assignment]:
+        return [a for a in self._duplicates if a.job_id == job_id]
+
+    def copies_of(self, job_id: str) -> List[Assignment]:
+        """Every execution of a job: the primary copy plus any duplicates."""
+        out: List[Assignment] = []
+        primary = self._assignments.get(job_id)
+        if primary is not None:
+            out.append(primary)
+        out.extend(self.duplicates_of(job_id))
+        return out
+
+    def all_assignments(self) -> List[Assignment]:
+        """Primary assignments and duplicates — everything occupying time."""
+        return list(self._assignments.values()) + list(self._duplicates)
+
     def timelines(
         self, resources: Optional[Sequence[str]] = None, *, available_from: Optional[Mapping[str, float]] = None
     ) -> Dict[str, ResourceTimeline]:
@@ -299,7 +337,7 @@ class Schedule:
         return rows
 
     def to_dict(self) -> Dict[str, Dict[str, float | str]]:
-        """JSON-friendly rendering keyed by job id."""
+        """JSON-friendly rendering keyed by job id (primary copies only)."""
         return {
             job_id: {
                 "resource": a.resource_id,
@@ -308,6 +346,12 @@ class Schedule:
             }
             for job_id, a in sorted(self._assignments.items())
         }
+
+    def duplicates_to_dict(self) -> List[List[object]]:
+        """JSON-friendly rendering of the duplicate copies, sorted."""
+        return sorted(
+            [a.job_id, a.resource_id, a.start, a.finish] for a in self._duplicates
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Schedule(name={self.name!r}, jobs={len(self)}, makespan={self.makespan():.2f})"

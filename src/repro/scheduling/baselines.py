@@ -21,6 +21,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.scheduling.base import Assignment, ResourceTimeline, Schedule
+from repro.scheduling.batch import BatchPlanMixin
+from repro.scheduling.heft import BusyIntervals, occupy_busy_intervals
 from repro.scheduling.minmin import batch_map
 from repro.utils.rng import spawn_rng
 from repro.workflow.costs import CostModel
@@ -45,10 +47,11 @@ def _select_max_sufferage(best_by_job: Dict[str, Tuple[float, Assignment]]) -> s
 
 
 @dataclass
-class MaxMinScheduler:
+class MaxMinScheduler(BatchPlanMixin):
     """Dynamic Max-Min: fix the ready job with the *largest* best completion."""
 
     name: str = "MaxMin"
+    selector = staticmethod(_select_max_completion)
 
     def map_ready_jobs(
         self,
@@ -74,10 +77,11 @@ class MaxMinScheduler:
 
 
 @dataclass
-class SufferageScheduler:
+class SufferageScheduler(BatchPlanMixin):
     """Dynamic Sufferage: fix the job that loses most if denied its best resource."""
 
     name: str = "Sufferage"
+    selector = staticmethod(_select_max_sufferage)
 
     def map_ready_jobs(
         self,
@@ -121,6 +125,7 @@ class RandomStaticScheduler:
         resources: Sequence[str],
         *,
         resource_available_from: Optional[Mapping[str, float]] = None,
+        busy: Optional[BusyIntervals] = None,
     ) -> Schedule:
         if not resources:
             raise ValueError("cannot schedule on an empty resource set")
@@ -130,6 +135,7 @@ class RandomStaticScheduler:
             rid: ResourceTimeline(rid, available_from=float(availability.get(rid, 0.0)))
             for rid in resources
         }
+        occupy_busy_intervals(timelines, busy)
         schedule = Schedule(name=self.name)
         for job in workflow.topological_order():
             rid = resources[int(rng.integers(0, len(resources)))]
@@ -167,6 +173,7 @@ class OpportunisticLoadBalancer:
         resources: Sequence[str],
         *,
         resource_available_from: Optional[Mapping[str, float]] = None,
+        busy: Optional[BusyIntervals] = None,
     ) -> Schedule:
         if not resources:
             raise ValueError("cannot schedule on an empty resource set")
@@ -175,6 +182,7 @@ class OpportunisticLoadBalancer:
             rid: ResourceTimeline(rid, available_from=float(availability.get(rid, 0.0)))
             for rid in resources
         }
+        occupy_busy_intervals(timelines, busy)
         schedule = Schedule(name=self.name)
         for job in workflow.topological_order():
             # Earliest-ready resource, ties broken by identifier.

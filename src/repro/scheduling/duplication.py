@@ -1,0 +1,204 @@
+"""HEFT with task duplication.
+
+Duplication-based list scheduling attacks the transfer bottleneck from
+the other side: instead of waiting for a predecessor's output to cross
+the network, re-run the predecessor *locally* on the consumer's resource
+when the re-execution finishes before the transfer would.  This module
+implements the classic conservative variant on top of HEFT:
+
+* jobs are placed in HEFT's upward-rank order with the minimum-EFT rule;
+* per candidate resource, the placement additionally evaluates
+  duplicating the job's *binding* predecessor — the one whose file
+  earliest availability dominates the ready time — onto that resource
+  (its own inputs priced with the usual FEA rules, its slot found on the
+  real timeline);
+* the duplicate is adopted only when it strictly lowers the job's EFT;
+  the globally best (resource, with-or-without-duplicate) option wins.
+
+Duplicates are first-class: they occupy processor time on the shared
+timelines (so later jobs and other tenants plan around them), they are
+recorded on the returned :class:`~repro.scheduling.base.Schedule` via
+:meth:`~repro.scheduling.base.Schedule.add_duplicate`, and the
+feasibility validators treat every copy as a data source.  Job status,
+finish times and the makespan always come from the primary copies.
+
+As a replanner (``run_adaptive(strategy="heft_dup")``) the strategy
+re-derives duplicates from scratch on every pass — stale duplicates from
+the previous plan are dropped (those that already began executing stay
+pinned as facts), and a duplicate stranded on a departing resource marks
+the plan infeasible exactly like a stranded primary
+(see :func:`repro.core.adaptive.apply_departure_kills`).
+
+Execution semantics: the discrete-event static executor runs duplicates
+as real work (they occupy their booked slot, and their output is one
+more data source for the job's consumers — under accurate estimates the
+simulated makespan equals the planned one exactly).  Known
+approximation: the adaptive loop's *truth-replay* projection and the
+shared-grid actuals replay price dup plans conservatively — duplicates
+are not re-executed there, so consumers wait for the primary copies and
+achieved makespans are upper bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.scheduling.base import Schedule, TIME_EPS
+from repro.scheduling.frame import PartialScheduleFrame, clone_timeline
+from repro.scheduling.heft import BusyIntervals, heft_priority_order
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = ["heft_dup_reschedule", "HEFTDupScheduler"]
+
+#: a fully specified placement option: (finish, start, dup or None)
+#: where dup = (pred, dup_start, dup_finish)
+_Option = Tuple[float, float, Optional[Tuple[str, float, float]]]
+
+
+def _candidate_on(
+    frame: PartialScheduleFrame, job: str, rid: str, *, insertion: bool
+) -> _Option:
+    """Best option for ``job`` on ``rid``: plain EFT vs duplicate-assisted."""
+    costs = frame.costs
+    duration = costs.computation_cost(job, rid)
+    feas: Dict[str, float] = {
+        pred: frame.fea(pred, job, rid) for pred in frame.workflow.predecessors(job)
+    }
+    ready = frame.clock
+    for value in feas.values():
+        if value > ready:
+            ready = value
+    timeline = frame.timelines[rid]
+    start = timeline.earliest_start(ready, duration, insertion=insertion)
+    plain: _Option = (start + duration, start, None)
+    if not feas:
+        return plain
+
+    # binding predecessor: the latest input (deterministic tie-break)
+    p_star = max(feas, key=lambda p: (feas[p], p))
+    if feas[p_star] <= frame.clock + TIME_EPS:
+        return plain  # nothing to gain: inputs are not the constraint
+    dup_duration = costs.computation_cost(p_star, rid)
+    dup_ready = frame.ready_time(p_star, rid)
+    dup_start = timeline.earliest_start(dup_ready, dup_duration, insertion=insertion)
+    dup_finish = dup_start + dup_duration
+    ready2 = frame.clock
+    for pred, value in feas.items():
+        value = min(value, dup_finish) if pred == p_star else value
+        if value > ready2:
+            ready2 = value
+    # the duplicate occupies the timeline too: place the job around it
+    tentative = clone_timeline(timeline)
+    tentative.occupy(dup_start, dup_finish, f"<dup:{p_star}>")
+    start2 = tentative.earliest_start(ready2, duration, insertion=insertion)
+    finish2 = start2 + duration
+    if finish2 < plain[0] - TIME_EPS:
+        return (finish2, start2, (p_star, dup_start, dup_finish))
+    return plain
+
+
+def heft_dup_reschedule(
+    workflow: Workflow,
+    costs: CostModel,
+    resources: Sequence[str],
+    *,
+    clock: float = 0.0,
+    previous_schedule: Optional[Schedule] = None,
+    execution_state=None,
+    insertion: bool = True,
+    respect_running: bool = True,
+    resource_available_from: Optional[Mapping[str, float]] = None,
+    busy: Optional[BusyIntervals] = None,
+    name: str = "heft_dup",
+) -> Schedule:
+    """(Re)schedule with HEFT order and duplication-assisted placement."""
+    frame = PartialScheduleFrame(
+        workflow,
+        costs,
+        resources,
+        clock=clock,
+        previous_schedule=previous_schedule,
+        execution_state=execution_state,
+        respect_running=respect_running,
+        resource_available_from=resource_available_from,
+        busy=busy,
+        name=name,
+    )
+    order = [
+        job
+        for job in heft_priority_order(workflow, costs, resources)
+        if job in frame.to_schedule_set
+    ]
+    for job in order:
+        best_rid: Optional[str] = None
+        best: Optional[_Option] = None
+        for rid in frame.resources:
+            option = _candidate_on(frame, job, rid, insertion=insertion)
+            if best is None or option[0] < best[0] - TIME_EPS:
+                best_rid = rid
+                best = option
+        assert best_rid is not None and best is not None
+        finish, start, dup = best
+        if dup is not None:
+            pred, dup_start, dup_finish = dup
+            frame.place_duplicate(pred, best_rid, dup_start, dup_finish)
+        frame.place(job, best_rid, start, finish)
+    return frame.schedule
+
+
+@dataclass(frozen=True)
+class HEFTDupScheduler:
+    """HEFT with task duplication, common scheduler interface."""
+
+    insertion: bool = True
+    respect_running: bool = True
+    name: str = "HEFT-Dup"
+
+    def schedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+        busy: Optional[BusyIntervals] = None,
+    ) -> Schedule:
+        return heft_dup_reschedule(
+            workflow,
+            costs,
+            resources,
+            clock=0.0,
+            insertion=self.insertion,
+            respect_running=self.respect_running,
+            resource_available_from=resource_available_from,
+            busy=busy,
+            name=self.name,
+        )
+
+    def reschedule(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        clock: float,
+        previous_schedule: Optional[Schedule],
+        execution_state=None,
+        resource_available_from: Optional[Mapping[str, float]] = None,
+        busy: Optional[BusyIntervals] = None,
+    ) -> Schedule:
+        return heft_dup_reschedule(
+            workflow,
+            costs,
+            resources,
+            clock=clock,
+            previous_schedule=previous_schedule,
+            execution_state=execution_state,
+            insertion=self.insertion,
+            respect_running=self.respect_running,
+            resource_available_from=resource_available_from,
+            busy=busy,
+            name=self.name,
+        )

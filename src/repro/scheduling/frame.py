@@ -1,0 +1,276 @@
+"""Shared partial-rescheduling frame for list-scheduling heuristics.
+
+Every static list heuristic in the strategy registry (CPOP, lookahead
+HEFT, HEFT with task duplication, and the batch adapters of the Min-Min
+family) must work not only as a plan-once scheduler but also as the
+replanner ``H`` inside the adaptive loop of paper Fig. 2: given a
+partially executed workflow at time ``clock``, keep the finished and
+running work where it is and re-map only the remainder — around any
+foreign (other-tenant) bookings on a shared grid.
+
+:class:`PartialScheduleFrame` packages exactly that boilerplate with the
+same semantics as :func:`repro.scheduling.aheft.aheft_reschedule`:
+
+* finished jobs are pinned at their actual start/finish, running jobs
+  (``respect_running``) at their scheduled finish time,
+* per-resource timelines start at ``max(clock, join time)`` and carry the
+  pinned intervals plus the merged foreign ``busy`` spans,
+* :meth:`fea` computes the file-earliest-availability of Eq. (1)–(3)
+  (Cases 1–3 plus the otherwise-case), extended with duplicate copies:
+  a duplicate execution of a predecessor placed on the candidate
+  resource is a local data source from its finish onwards.
+
+The frame is deliberately the *generic* (pair-dependent communication)
+code path — correctness first; AHEFT keeps its own fast kernel.  New
+registry strategies build on the frame and inherit partial-rescheduling
+and shared-grid support for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.scheduling.aheft import _scheduled_transfer_arrival
+from repro.scheduling.base import (
+    Assignment,
+    ExecutionState,
+    JobStatus,
+    ResourceTimeline,
+    Schedule,
+    TIME_EPS,
+)
+from repro.scheduling.heft import BusyIntervals, occupy_busy_intervals
+from repro.workflow.costs import CostModel
+from repro.workflow.dag import Workflow
+
+__all__ = ["PartialScheduleFrame", "clone_timeline"]
+
+
+def clone_timeline(timeline: ResourceTimeline) -> ResourceTimeline:
+    """An independent copy of a timeline (for tentative what-if placement)."""
+    clone = ResourceTimeline(
+        timeline.resource_id, available_from=timeline.available_from
+    )
+    for start, finish, job_id in timeline.intervals():
+        clone.occupy(start, finish, job_id)
+    return clone
+
+
+class PartialScheduleFrame:
+    """Pinning, timelines and FEA queries for one (re)scheduling pass."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        costs: CostModel,
+        resources: Sequence[str],
+        *,
+        clock: float = 0.0,
+        previous_schedule: Optional[Schedule] = None,
+        execution_state: Optional[ExecutionState] = None,
+        respect_running: bool = True,
+        resource_available_from=None,
+        busy: Optional[BusyIntervals] = None,
+        name: str = "schedule",
+    ) -> None:
+        if not resources:
+            raise ValueError("cannot schedule on an empty resource set")
+        workflow.validate()
+        if clock < 0:
+            raise ValueError("clock must be non-negative")
+        self.workflow = workflow
+        self.costs = costs
+        self.resources = list(resources)
+        self.clock = float(clock)
+        self.previous_schedule = previous_schedule
+
+        if execution_state is None:
+            if previous_schedule is not None:
+                execution_state = ExecutionState.from_schedule(
+                    previous_schedule, clock, jobs=workflow.jobs
+                )
+            else:
+                execution_state = ExecutionState.initial(workflow.jobs)
+        self.state = execution_state
+
+        # ------------------------------------------------------------------
+        # pinned (finished / running-kept) vs re-mappable jobs
+        # ------------------------------------------------------------------
+        pinned: Dict[str, Assignment] = {}
+        for job in workflow.jobs:
+            status = self.state.job_status(job)
+            if status is JobStatus.FINISHED:
+                pinned[job] = Assignment(
+                    job,
+                    self.state.executed_on[job],
+                    self.state.actual_start[job],
+                    self.state.actual_finish[job],
+                )
+            elif status is JobStatus.RUNNING and respect_running:
+                if (
+                    previous_schedule is not None
+                    and previous_schedule.get(job) is not None
+                ):
+                    sft = previous_schedule.scheduled_finish_time(job)
+                else:
+                    sft = self.state.actual_start[job] + costs.computation_cost(
+                        job, self.state.executed_on[job]
+                    )
+                pinned[job] = Assignment(
+                    job, self.state.executed_on[job], self.state.actual_start[job], sft
+                )
+        self.pinned = pinned
+        self.to_schedule: List[str] = [j for j in workflow.jobs if j not in pinned]
+        self.to_schedule_set: Set[str] = set(self.to_schedule)
+
+        # ------------------------------------------------------------------
+        # historical duplicates: copies from the previous plan that already
+        # began executing by ``clock`` are facts — pinned consumers may have
+        # started from their local data, so dropping them would make the
+        # pinned history look precedence-infeasible.  Future duplicates are
+        # dropped and re-derived by the placement pass; a running duplicate
+        # on a departed resource is dropped (its work is lost).
+        # ------------------------------------------------------------------
+        resource_set = set(self.resources)
+        historical_dups: List[Assignment] = []
+        if previous_schedule is not None:
+            for dup in previous_schedule.duplicates:
+                if dup.start > self.clock + TIME_EPS:
+                    continue
+                if dup.resource_id not in resource_set and dup.finish > self.clock + TIME_EPS:
+                    continue
+                historical_dups.append(dup)
+
+        # ------------------------------------------------------------------
+        # timelines: pinned work + historical duplicates + merged busy spans
+        # ------------------------------------------------------------------
+        availability = resource_available_from or {}
+        self.timelines: Dict[str, ResourceTimeline] = {}
+        for rid in self.resources:
+            start = max(clock, float(availability.get(rid, clock)))
+            self.timelines[rid] = ResourceTimeline(rid, available_from=start)
+        occupying = list(pinned.values()) + historical_dups
+        if busy is None:
+            for assignment in occupying:
+                timeline = self.timelines.get(assignment.resource_id)
+                if timeline is not None and assignment.finish > timeline.available_from:
+                    timeline.occupy(
+                        assignment.start, assignment.finish, assignment.job_id
+                    )
+        else:
+            combined: Dict[str, List[tuple]] = {
+                rid: list(spans) for rid, spans in busy.items()
+            }
+            for assignment in occupying:
+                combined.setdefault(assignment.resource_id, []).append(
+                    (assignment.start, assignment.finish)
+                )
+            occupy_busy_intervals(self.timelines, combined)
+
+        self.schedule = Schedule(name=name)
+        self.schedule.extend(pinned.values())
+        #: duplicate copies placed so far: (job, resource) -> earliest finish
+        self._dup_finish: Dict[Tuple[str, str], float] = {}
+        for dup in historical_dups:
+            self.schedule.add_duplicate(dup)
+            key = (dup.job_id, dup.resource_id)
+            current = self._dup_finish.get(key)
+            if current is None or dup.finish < current:
+                self._dup_finish[key] = dup.finish
+
+    # ------------------------------------------------------------------
+    # FEA queries (paper Eq. 1–3, duplicate-aware)
+    # ------------------------------------------------------------------
+    def fea(self, pred: str, job: str, rid: str) -> float:
+        """Earliest availability of ``pred``'s output on ``rid``."""
+        state = self.state
+        if state.job_status(pred) is JobStatus.FINISHED:
+            executed_on = state.executed_on[pred]
+            finish = state.actual_finish[pred]
+            if executed_on == rid:
+                base = finish  # Case 1
+            else:
+                arrival = _scheduled_transfer_arrival(
+                    pred, job, rid, self.costs, self.previous_schedule, state
+                )
+                if arrival is not None:
+                    base = arrival  # transfer already under way (or done)
+                else:
+                    comm = self.costs.communication_cost(pred, job, executed_on, rid)
+                    base = self.clock + comm  # Case 2
+        else:
+            pred_assignment = self.schedule.get(pred)
+            if pred_assignment is None:
+                raise RuntimeError(
+                    f"predecessor {pred!r} of {job!r} is neither executed nor "
+                    "scheduled; the placement order is not topologically "
+                    "consistent"
+                )
+            if pred_assignment.resource_id == rid:
+                base = pred_assignment.finish  # Case 3
+            else:
+                comm = self.costs.communication_cost(
+                    pred, job, pred_assignment.resource_id, rid
+                )
+                base = pred_assignment.finish + comm  # otherwise
+        dup = self._dup_finish.get((pred, rid))
+        if dup is not None and dup < base:
+            return dup
+        return base
+
+    def ready_time(self, job: str, rid: str) -> float:
+        """Earliest time every input of ``job`` is available on ``rid``."""
+        ready = self.clock
+        for pred in self.workflow.predecessors(job):
+            value = self.fea(pred, job, rid)
+            if value > ready:
+                ready = value
+        return ready
+
+    def earliest_finish(
+        self, job: str, rid: str, *, insertion: bool = True
+    ) -> Tuple[float, float]:
+        """``(start, finish)`` of the best slot for ``job`` on ``rid``."""
+        duration = self.costs.computation_cost(job, rid)
+        start = self.timelines[rid].earliest_start(
+            self.ready_time(job, rid), duration, insertion=insertion
+        )
+        return start, start + duration
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def place(self, job: str, rid: str, start: float, finish: float) -> Assignment:
+        assignment = Assignment(job, rid, start, finish)
+        self.timelines[rid].occupy(start, finish, job)
+        self.schedule.add(assignment)
+        return assignment
+
+    def place_duplicate(
+        self, job: str, rid: str, start: float, finish: float
+    ) -> Assignment:
+        """Book a redundant copy of an already-known job on ``rid``."""
+        assignment = Assignment(job, rid, start, finish)
+        self.timelines[rid].occupy(start, finish, f"<dup:{job}>")
+        self.schedule.add_duplicate(assignment)
+        current = self._dup_finish.get((job, rid))
+        if current is None or finish < current:
+            self._dup_finish[(job, rid)] = finish
+        return assignment
+
+    # ------------------------------------------------------------------
+    def min_eft_placement(
+        self, job: str, *, insertion: bool = True
+    ) -> Tuple[str, float, float]:
+        """HEFT's minimum-EFT rule over all resources (deterministic ties)."""
+        best_rid: Optional[str] = None
+        best_start = 0.0
+        best_finish = float("inf")
+        for rid in self.resources:
+            start, finish = self.earliest_finish(job, rid, insertion=insertion)
+            if best_rid is None or finish < best_finish - TIME_EPS:
+                best_rid = rid
+                best_start = start
+                best_finish = finish
+        assert best_rid is not None
+        return best_rid, best_start, best_finish

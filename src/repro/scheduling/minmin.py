@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.scheduling.base import Assignment, TIME_EPS
+from repro.scheduling.batch import BatchPlanMixin
 from repro.workflow.costs import CostModel
 from repro.workflow.dag import Workflow
 
@@ -134,10 +135,17 @@ def minmin_batch(
 
 
 @dataclass
-class MinMinScheduler:
-    """Dynamic Min-Min policy object used by the just-in-time executor."""
+class MinMinScheduler(BatchPlanMixin):
+    """Dynamic Min-Min policy object used by the just-in-time executor.
+
+    Through :class:`~repro.scheduling.batch.BatchPlanMixin` it also acts
+    as a full-schedule planner and partial replanner (analytic
+    just-in-time replay with ``busy`` support), which is how the strategy
+    registry exposes it to the invariant suite and the adaptive loop.
+    """
 
     name: str = "MinMin"
+    selector = staticmethod(_select_min_completion)
 
     def map_ready_jobs(
         self,

@@ -1,0 +1,217 @@
+"""The strategy registry: every scheduling heuristic, addressable by name.
+
+Mirrors the scenario registry (:mod:`repro.scenarios.library`) and the
+error-model registry (:data:`repro.workflow.costs.ERROR_MODELS`): a flat
+mapping from a stable lowercase name to a factory plus metadata, consumed
+by the experiment sweeps (``strategies=("heft", "cpop", ...)``), the CLI
+(``repro sweep/mc/multi --strategies`` and ``repro strategies``), the
+tournament benchmark and the universal scheduler-invariant test suite —
+a strategy registered here is automatically swept, enumerated in
+``--help`` and property-tested.
+
+Every factory returns a scheduler object with ``schedule(workflow,
+costs, resources, *, resource_available_from=None, busy=None)``; each
+``kind`` describes the strategy's *default* execution mode:
+
+``static``
+    plan once at t=0 (executed via :func:`repro.core.adaptive.run_static`);
+``adaptive``
+    replan at every grid event (via :func:`~repro.core.adaptive.run_adaptive`);
+``dynamic``
+    just-in-time batch mapping (via :func:`~repro.core.adaptive.run_dynamic`).
+
+Independently of its kind, any scheduler that also exposes the
+``reschedule`` interface can be injected into the adaptive loop and the
+multi-tenant planner (``run_adaptive(strategy="cpop")``, the
+``adaptive:<name>`` sweep prefix), which is how every list heuristic can
+be ablated against the paper's AHEFT.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.scheduling.aheft import AHEFTScheduler
+from repro.scheduling.baselines import (
+    MaxMinScheduler,
+    OpportunisticLoadBalancer,
+    RandomStaticScheduler,
+    SufferageScheduler,
+)
+from repro.scheduling.cpop import CPOPScheduler
+from repro.scheduling.duplication import HEFTDupScheduler
+from repro.scheduling.heft import HEFTScheduler
+from repro.scheduling.lookahead import LookaheadHEFTScheduler
+from repro.scheduling.minmin import MinMinScheduler
+
+__all__ = [
+    "SCHEDULERS",
+    "StrategyInfo",
+    "register_scheduler",
+    "make_scheduler",
+    "available_schedulers",
+    "scheduler_kind",
+    "scheduler_summary",
+    "scheduler_parameters",
+]
+
+_KINDS = ("static", "adaptive", "dynamic")
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """One registry entry: factory plus the metadata the CLI prints."""
+
+    name: str
+    kind: str
+    summary: str
+    factory: Callable[..., object]
+
+    def parameters(self) -> Dict[str, object]:
+        """Constructor parameters and their defaults (for ``repro strategies``)."""
+        params: Dict[str, object] = {}
+        for parameter in inspect.signature(self.factory).parameters.values():
+            if parameter.name in ("self", "name"):
+                continue
+            if parameter.kind in (
+                inspect.Parameter.VAR_POSITIONAL,
+                inspect.Parameter.VAR_KEYWORD,
+            ):
+                continue
+            params[parameter.name] = (
+                None
+                if parameter.default is inspect.Parameter.empty
+                else parameter.default
+            )
+        return params
+
+
+#: name -> :class:`StrategyInfo`; mutate only via :func:`register_scheduler`.
+SCHEDULERS: Dict[str, StrategyInfo] = {}
+
+
+def register_scheduler(name: str, *, kind: str, summary: str = ""):
+    """Register ``factory`` under ``name`` for sweeps, the CLI and the tests."""
+    if kind not in _KINDS:
+        raise ValueError(f"unknown strategy kind {kind!r}; choose from {_KINDS}")
+
+    def decorator(factory: Callable[..., object]):
+        if name in SCHEDULERS:
+            raise ValueError(f"scheduler {name!r} already registered")
+        SCHEDULERS[name] = StrategyInfo(
+            name=name, kind=kind, summary=summary, factory=factory
+        )
+        return factory
+
+    return decorator
+
+
+def make_scheduler(name: str, **params):
+    """Instantiate a registered strategy, passing ``params`` to its factory."""
+    info = SCHEDULERS.get(name)
+    if info is None:
+        raise KeyError(
+            f"unknown scheduler {name!r}; registered: {available_schedulers()}"
+        )
+    return info.factory(**params)
+
+
+def available_schedulers() -> List[str]:
+    """Registered strategy names, sorted."""
+    return sorted(SCHEDULERS)
+
+
+def scheduler_kind(name: str) -> str:
+    """The default execution mode of a registered strategy."""
+    return _info(name).kind
+
+
+def scheduler_summary(name: str) -> str:
+    """One-line description of a registered strategy."""
+    return _info(name).summary
+
+
+def scheduler_parameters(name: str) -> Dict[str, object]:
+    """Constructor parameters (name -> default) of a registered strategy."""
+    return _info(name).parameters()
+
+
+def _info(name: str) -> StrategyInfo:
+    info = SCHEDULERS.get(name)
+    if info is None:
+        raise KeyError(
+            f"unknown scheduler {name!r}; registered: {available_schedulers()}"
+        )
+    return info
+
+
+# ----------------------------------------------------------------------
+# built-in strategies
+# ----------------------------------------------------------------------
+_BUILTINS: Tuple[Tuple[str, str, str, Callable[..., object]], ...] = (
+    (
+        "heft",
+        "static",
+        "HEFT: upward-rank order, minimum-EFT placement (paper baseline)",
+        HEFTScheduler,
+    ),
+    (
+        "aheft",
+        "adaptive",
+        "AHEFT: HEFT-based rescheduling of the unfinished part (the paper)",
+        AHEFTScheduler,
+    ),
+    (
+        "minmin",
+        "dynamic",
+        "Min-Min: fix the ready job with the smallest best completion",
+        MinMinScheduler,
+    ),
+    (
+        "maxmin",
+        "dynamic",
+        "Max-Min: fix the ready job with the largest best completion",
+        MaxMinScheduler,
+    ),
+    (
+        "sufferage",
+        "dynamic",
+        "Sufferage: fix the job that loses most without its best resource",
+        SufferageScheduler,
+    ),
+    (
+        "cpop",
+        "static",
+        "CPOP: critical path pinned to one processor, min-EFT elsewhere",
+        CPOPScheduler,
+    ),
+    (
+        "lookahead_heft",
+        "static",
+        "Lookahead HEFT: placement minimises the worst child EFT",
+        LookaheadHEFTScheduler,
+    ),
+    (
+        "heft_dup",
+        "static",
+        "HEFT + task duplication: re-run the binding predecessor locally",
+        HEFTDupScheduler,
+    ),
+    (
+        "olb",
+        "static",
+        "Opportunistic Load Balancer: earliest-free resource, cost-blind",
+        OpportunisticLoadBalancer,
+    ),
+    (
+        "random_static",
+        "static",
+        "random resource per job (seeded sanity lower bound)",
+        RandomStaticScheduler,
+    ),
+)
+
+for _name, _kind, _summary, _factory in _BUILTINS:
+    register_scheduler(_name, kind=_kind, summary=_summary)(_factory)

@@ -33,6 +33,21 @@ class ScheduleValidationError(AssertionError):
     """Raised when a schedule violates a feasibility invariant."""
 
 
+def _earliest_data_at(
+    costs: CostModel, src: str, dst: str, schedule: Schedule, dst_rid: str
+) -> float:
+    """Earliest time ``src``'s output is available on ``dst_rid``.
+
+    Every execution of ``src`` — the primary copy and any duplicates placed
+    by duplication-based heuristics — is a valid data source; the cheapest
+    one (local copies at zero transfer cost) wins.
+    """
+    return min(
+        copy.finish + costs.communication_cost(src, dst, copy.resource_id, dst_rid)
+        for copy in schedule.copies_of(src)
+    )
+
+
 def check_precedence(
     workflow: Workflow,
     costs: CostModel,
@@ -40,30 +55,37 @@ def check_precedence(
     *,
     tolerance: float = 1e-6,
 ) -> List[str]:
-    """Return a list of precedence violations (empty when feasible)."""
+    """Return a list of precedence violations (empty when feasible).
+
+    A consumer may read its input from *any* copy of the producer (primary
+    or duplicate), and duplicate executions must themselves respect the
+    precedence of the job they re-run.
+    """
     problems: List[str] = []
     for src, dst, _data in workflow.edges():
         src_assignment = schedule.get(src)
-        dst_assignment = schedule.get(dst)
-        if src_assignment is None or dst_assignment is None:
+        if src_assignment is None:
             continue
-        transfer = costs.communication_cost(
-            src, dst, src_assignment.resource_id, dst_assignment.resource_id
-        )
-        earliest = src_assignment.finish + transfer
-        if dst_assignment.start < earliest - tolerance:
-            problems.append(
-                f"{dst} starts at {dst_assignment.start:.3f} before data from "
-                f"{src} is available at {earliest:.3f}"
-            )
+        for dst_assignment in schedule.copies_of(dst):
+            earliest = _earliest_data_at(costs, src, dst, schedule, dst_assignment.resource_id)
+            if dst_assignment.start < earliest - tolerance:
+                problems.append(
+                    f"{dst} starts at {dst_assignment.start:.3f} before data from "
+                    f"{src} is available at {earliest:.3f}"
+                )
     return problems
 
 
 def check_no_overlap(schedule: Schedule, *, tolerance: float = 1e-6) -> List[str]:
-    """Return overlapping-assignment violations (empty when feasible)."""
+    """Return overlapping-assignment violations (duplicates included)."""
     problems: List[str] = []
-    for rid in schedule.resources_used():
-        assignments = schedule.assignments_on(rid)
+    by_resource: dict = {}
+    for assignment in schedule.all_assignments():
+        by_resource.setdefault(assignment.resource_id, []).append(assignment)
+    for rid in sorted(by_resource):
+        assignments = sorted(
+            by_resource[rid], key=lambda a: (a.start, a.finish, a.job_id)
+        )
         for first, second in zip(assignments, assignments[1:]):
             if second.start < first.finish - tolerance:
                 problems.append(
@@ -82,7 +104,7 @@ def check_resource_availability(
 ) -> List[str]:
     """Return assignments using resources outside their availability window."""
     problems: List[str] = []
-    for assignment in schedule:
+    for assignment in schedule.all_assignments():
         if assignment.resource_id not in pool:
             problems.append(
                 f"{assignment.job_id} uses unknown resource {assignment.resource_id}"

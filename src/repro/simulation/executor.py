@@ -187,12 +187,38 @@ class StaticScheduleExecutor:
             workflow_name=self.workflow.name, strategy=self.strategy_name
         )
 
-        # per-resource execution order = schedule order by start time
-        order_on_resource: Dict[str, List[str]] = {}
-        for rid in self.schedule.resources_used():
-            order_on_resource[rid] = [
-                a.job_id for a in self.schedule.assignments_on(rid)
-            ]
+        # Duplicate copies (duplication-based strategies) are first-class
+        # execution units: they occupy their booked slot in the per-resource
+        # order, re-run their job's computation, and provide its output as
+        # an additional data source — exactly what the plan booked its
+        # consumers against.  A duplicate lost to a departure is simply
+        # dropped (never failed over): the primary copy still guarantees
+        # completion, consumers just wait for the slower source.
+        duplicates = self.schedule.duplicates
+        dup_preds: List[Tuple[str, ...]] = [
+            tuple(self.workflow.predecessors(d.job_id)) for d in duplicates
+        ]
+        dup_started: Set[int] = set()
+        dup_finished: Set[int] = set()
+        #: (producer, dup index) -> earliest arrival of the producer's data
+        #: on the duplicate's resource
+        dup_arrivals: Dict[Tuple[str, int], float] = {}
+
+        # per-resource execution order = schedule order by start time; units
+        # are primary job ids (str) or duplicate indices (int)
+        order_on_resource: Dict[str, List[object]] = {}
+        units_by_resource: Dict[str, List[Tuple[float, float, str, object]]] = {}
+        for assignment in self.schedule:
+            units_by_resource.setdefault(assignment.resource_id, []).append(
+                (assignment.start, assignment.finish, assignment.job_id, assignment.job_id)
+            )
+        for index, duplicate in enumerate(duplicates):
+            units_by_resource.setdefault(duplicate.resource_id, []).append(
+                (duplicate.start, duplicate.finish, duplicate.job_id, index)
+            )
+        for rid in sorted(units_by_resource):
+            entries = sorted(units_by_resource[rid], key=lambda e: e[:3])
+            order_on_resource[rid] = [entry[3] for entry in entries]
         next_index: Dict[str, int] = {rid: 0 for rid in order_on_resource}
         resource_free: Dict[str, float] = {}
         for rid in order_on_resource:
@@ -222,6 +248,13 @@ class StaticScheduleExecutor:
                     return False
             return True
 
+        def dup_data_ready(index: int, now: float) -> bool:
+            for pred in dup_preds[index]:
+                when = dup_arrivals.get((pred, index))
+                if when is None or when > now + TIME_EPS:
+                    return False
+            return True
+
         def launch(job: str, rid: str, start: float) -> None:
             duration = self._duration(job, rid, start)
             finish = start + duration
@@ -234,6 +267,19 @@ class StaticScheduleExecutor:
             )
             in_flight[job] = (event, rid, start)
 
+        def launch_dup(index: int, rid: str, start: float) -> None:
+            job = duplicates[index].job_id
+            duration = self._duration(job, rid, start)
+            finish = start + duration
+            dup_started.add(index)
+            resource_free[rid] = finish
+            event = engine.schedule_at(
+                finish,
+                lambda i=index, r=rid, s=start, f=finish: on_dup_finish(i, r, s, f),
+                label=f"finish-dup:{job}",
+            )
+            in_flight[("dup", index)] = (event, rid, start)
+
         def try_dispatch() -> None:
             now = engine.now
             for rid, order in order_on_resource.items():
@@ -242,19 +288,25 @@ class StaticScheduleExecutor:
                 idx = next_index[rid]
                 if idx >= len(order):
                     continue
-                job = order[idx]
-                if job in started:
-                    continue
+                unit = order[idx]
                 if resource_free[rid] > now + TIME_EPS:
                     continue
                 # not joined yet, or departing at this very instant — the
                 # departure handler will strand the remaining order
                 if not self.pool.resource(rid).is_available_at(now):
                     continue
-                if not data_ready(job, now):
+                if isinstance(unit, int):
+                    if not dup_data_ready(unit, now):
+                        continue
+                    next_index[rid] += 1
+                    launch_dup(unit, rid, max(now, resource_free[rid]))
+                    continue
+                if unit in started:
+                    continue
+                if not data_ready(unit, now):
                     continue
                 next_index[rid] += 1
-                launch(job, rid, max(now, resource_free[rid]))
+                launch(unit, rid, max(now, resource_free[rid]))
             try_failover()
 
         def try_failover() -> None:
@@ -322,6 +374,29 @@ class StaticScheduleExecutor:
                         engine.schedule_at(start, arrive, label=f"failover:{job}")
                     progress = True
 
+        def ship_to_consumer_dups(producer: str, src: str, finish: float) -> None:
+            """Feed a finished copy of ``producer`` to waiting duplicates."""
+            for index, duplicate in enumerate(duplicates):
+                if index in dup_started or index in dup_finished:
+                    continue
+                if producer not in dup_preds[index]:
+                    continue
+                target = duplicate.resource_id
+                if target in departed:
+                    continue
+                transfer = self.estimated_costs.communication_cost(
+                    producer, duplicate.job_id, src, target
+                )
+                arrival = finish + transfer
+                key = (producer, index)
+                current = dup_arrivals.get(key)
+                if current is None or arrival < current - TIME_EPS:
+                    dup_arrivals[key] = arrival
+                    if arrival > engine.now + TIME_EPS:
+                        engine.schedule_at(
+                            arrival, try_dispatch, label=f"arrival:{producer}->dup"
+                        )
+
         def on_finish(job: str, rid: str, start: float, finish: float) -> None:
             finished.add(job)
             in_flight.pop(job, None)
@@ -338,12 +413,42 @@ class StaticScheduleExecutor:
                     continue
                 transfer = self.estimated_costs.communication_cost(job, succ, rid, target)
                 arrival = finish + transfer
+                current = arrivals.get((job, succ))
+                if current is not None and current <= arrival + TIME_EPS:
+                    continue  # a duplicate copy already provides the data sooner
                 arrivals[(job, succ)] = arrival
                 if transfer > 0:
                     trace.record_transfer(
                         TransferRecord(job, succ, rid, target, finish, arrival)
                     )
                     engine.schedule_at(arrival, try_dispatch, label=f"arrival:{job}->{succ}")
+            ship_to_consumer_dups(job, rid, finish)
+            try_dispatch()
+
+        def on_dup_finish(index: int, rid: str, start: float, finish: float) -> None:
+            duplicate = duplicates[index]
+            job = duplicate.job_id
+            dup_finished.add(index)
+            in_flight.pop(("dup", index), None)
+            trace.record_duplicate(job, rid, start, finish)
+            # the duplicate's output is one more data source for the job's
+            # consumers — possibly earlier (and local) relative to the
+            # primary copy, which is exactly why the plan booked it
+            for succ in self.workflow.successors(job):
+                target = self.schedule.resource_of(succ)
+                until = self.pool.resource(target).available_until
+                if target in departed or (until is not None and finish >= until - TIME_EPS):
+                    continue
+                transfer = self.estimated_costs.communication_cost(job, succ, rid, target)
+                arrival = finish + transfer
+                current = arrivals.get((job, succ))
+                if current is None or arrival < current - TIME_EPS:
+                    arrivals[(job, succ)] = arrival
+                    if arrival > engine.now + TIME_EPS:
+                        engine.schedule_at(
+                            arrival, try_dispatch, label=f"arrival:dup-{job}->{succ}"
+                        )
+            ship_to_consumer_dups(job, rid, finish)
             try_dispatch()
 
         def on_departure(removed: Tuple[str, ...]) -> None:
@@ -353,11 +458,21 @@ class StaticScheduleExecutor:
             departed.update(removed_set)
             # Kill the running jobs on *any* removed resource — including
             # failover targets that never appeared in the original schedule.
-            for job, (event, job_rid, start) in list(in_flight.items()):
+            for unit, (event, job_rid, start) in list(in_flight.items()):
                 if job_rid not in removed_set:
                     continue
                 event.cancel()
-                del in_flight[job]
+                del in_flight[unit]
+                if isinstance(unit, tuple):
+                    # a running duplicate dies with its resource: the partial
+                    # re-execution is wasted work, but the primary copy still
+                    # guarantees completion, so nothing fails over
+                    index = unit[1]
+                    dup_started.discard(index)
+                    if start < now - TIME_EPS:
+                        trace.record_kill(duplicates[index].job_id, job_rid, start, now)
+                    continue
+                job = unit
                 started.discard(job)
                 if start < now - TIME_EPS:
                     # execution actually began: its partial run is wasted
@@ -366,7 +481,8 @@ class StaticScheduleExecutor:
                 # transfer under way) is silently re-queued — no work done
                 impacted.append(job)
                 failover_queue.append(job)
-            # Strand the not-yet-started remainder of each scheduled order.
+            # Strand the not-yet-started remainder of each scheduled order;
+            # stranded duplicates are dropped, never failed over.
             for rid in removed_set:
                 order = order_on_resource.get(rid)
                 if order is None:
@@ -374,7 +490,9 @@ class StaticScheduleExecutor:
                 stranded = [
                     job
                     for job in order[next_index[rid]:]
-                    if job not in started and job not in finished
+                    if isinstance(job, str)
+                    and job not in started
+                    and job not in finished
                 ]
                 next_index[rid] = len(order)
                 impacted.extend(stranded)

@@ -133,7 +133,7 @@ class SharedGridResult:
         """
         timelines: Dict[str, ResourceTimeline] = {}
         for outcome in self.outcomes:
-            for assignment in outcome.schedule:
+            for assignment in outcome.schedule.all_assignments():
                 timeline = timelines.get(assignment.resource_id)
                 if timeline is None:
                     timeline = ResourceTimeline(assignment.resource_id)
@@ -159,9 +159,12 @@ class SharedGridExecutor:
         availability windows encode joins and departures.
     perf_profile:
         Optional scenario performance profile shared by all tenants.
-    policy, tenant_weights, scheduler_factory, accept_only_if_better,
-    epsilon:
-        Forwarded to :class:`~repro.core.multi_tenant.MultiTenantPlanner`.
+    policy, tenant_weights, scheduler_factory, strategy,
+    accept_only_if_better, epsilon:
+        Forwarded to :class:`~repro.core.multi_tenant.MultiTenantPlanner`;
+        ``strategy`` names any registered scheduler with the
+        ``reschedule`` interface, making the whole shared grid replan
+        with that heuristic instead of AHEFT.
 
     Trigger semantics at one instant: grid events are handled first (the
     incumbents re-book around the change), then same-instant arrivals are
@@ -176,7 +179,8 @@ class SharedGridExecutor:
         perf_profile=None,
         policy: str = "fifo",
         tenant_weights: Optional[Dict[str, float]] = None,
-        scheduler_factory: Callable[[], AHEFTScheduler] = AHEFTScheduler,
+        scheduler_factory: Optional[Callable[[], AHEFTScheduler]] = None,
+        strategy: Optional[str] = None,
         accept_only_if_better: bool = True,
         epsilon: float = 1e-9,
         error_model: Optional[ErrorModel] = None,
@@ -187,6 +191,7 @@ class SharedGridExecutor:
         self.policy = policy
         self.tenant_weights = tenant_weights
         self.scheduler_factory = scheduler_factory
+        self.strategy = strategy
         self.accept_only_if_better = accept_only_if_better
         self.epsilon = epsilon
         self.error_model = error_model
@@ -202,6 +207,7 @@ class SharedGridExecutor:
             policy=self.policy,
             tenant_weights=self.tenant_weights,
             scheduler_factory=self.scheduler_factory,
+            strategy=self.strategy,
             accept_only_if_better=self.accept_only_if_better,
             epsilon=self.epsilon,
         )

@@ -72,12 +72,20 @@ class ExecutionTrace:
     transfers: List[TransferRecord] = field(default_factory=list)
     events: List[TraceEvent] = field(default_factory=list)
     kills: List[KillRecord] = field(default_factory=list)
+    #: redundant executions performed by duplication-based strategies; a
+    #: job's canonical record stays in ``assignments``
+    duplicates: List[Assignment] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
     def record_job(self, job_id: str, resource_id: str, start: float, finish: float) -> None:
         self.assignments[job_id] = Assignment(job_id, resource_id, start, finish)
+
+    def record_duplicate(
+        self, job_id: str, resource_id: str, start: float, finish: float
+    ) -> None:
+        self.duplicates.append(Assignment(job_id, resource_id, start, finish))
 
     def record_transfer(self, record: TransferRecord) -> None:
         self.transfers.append(record)
@@ -151,6 +159,8 @@ class ExecutionTrace:
         """Convert the trace to a :class:`Schedule` of actual times."""
         schedule = Schedule(name=name or f"{self.strategy}-actual")
         schedule.extend(self.assignments.values())
+        for duplicate in self.duplicates:
+            schedule.add_duplicate(duplicate)
         return schedule
 
     def to_rows(self) -> List[Tuple[str, str, float, float]]:

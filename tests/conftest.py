@@ -19,6 +19,16 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate committed golden fixtures (tests/goldens/) instead of "
+        "comparing against them",
+    )
+
 from repro.generators.random_dag import RandomDAGParameters, generate_random_case
 from repro.generators.sample import (
     sample_dag_cost_model,

@@ -219,7 +219,145 @@ class TestDynamicScenarioHelp:
             _SUMMARIES.pop(name, None)
 
 
+class TestStrategiesCommand:
+    def test_lists_every_registered_strategy(self, capsys):
+        from repro.scheduling import available_schedulers
+
+        assert main(["strategies"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for name in available_schedulers():
+            assert name in out
+        assert "static" in out and "adaptive" in out and "dynamic" in out
+
+    def test_json_output_has_kind_and_params(self, capsys):
+        from repro.scheduling import available_schedulers
+
+        assert main(["strategies", "--json"]) == EXIT_OK
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == set(available_schedulers())
+        assert payload["heft"]["kind"] == "static"
+        assert payload["heft"]["params"] == {"insertion": True}
+        assert payload["aheft"]["kind"] == "adaptive"
+        assert payload["aheft"]["summary"]
+
+
+class TestDynamicStrategyHelp:
+    """`--strategies` help must enumerate the scheduling registry."""
+
+    @pytest.mark.parametrize("command", ["sweep", "multi", "mc"])
+    def test_help_lists_every_registered_strategy(self, command, capsys):
+        from repro.scheduling import available_schedulers, make_scheduler
+
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        names = available_schedulers()
+        if command == "multi":
+            names = [n for n in names if hasattr(make_scheduler(n), "reschedule")]
+        for name in names:
+            assert name in out
+
+    def test_freshly_registered_strategy_appears_in_help(self, capsys):
+        from repro.scheduling import SCHEDULERS, register_scheduler
+        from repro.scheduling.heft import HEFTScheduler
+
+        name = "only_for_this_cli_test"
+        register_scheduler(name, kind="static", summary="ephemeral")(HEFTScheduler)
+        try:
+            with pytest.raises(SystemExit):
+                main(["sweep", "--help"])
+            assert name in capsys.readouterr().out
+        finally:
+            SCHEDULERS.pop(name, None)
+
+    def test_unknown_strategy_exits_two(self, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario",
+                    "static",
+                    "--quick",
+                    "--strategies",
+                    "heft,not_a_strategy",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+            == EXIT_ERROR
+        )
+
+    def test_registry_strategies_flow_into_a_sweep_ledger(self, tmp_path):
+        out = tmp_path / "registry_sweep.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario",
+                    "static",
+                    "--quick",
+                    "--v",
+                    "12",
+                    "--resources",
+                    "4",
+                    "--strategies",
+                    "heft,cpop,heft_dup",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == EXIT_OK
+        )
+        ledger = json.loads(out.read_text())
+        assert ledger["strategies"] == ["heft", "cpop", "heft_dup"]
+        for point in ledger["scenarios"]:
+            assert set(point["mean_makespans"]) == {"heft", "cpop", "heft_dup"}
+
+
 class TestMultiCommand:
+    def test_multi_strategy_dimension_reaches_the_ledger(self, tmp_path):
+        out = tmp_path / "multi_strategies.json"
+        assert (
+            main(
+                [
+                    "multi",
+                    "--tenants",
+                    "2",
+                    "--quick",
+                    "--v",
+                    "10",
+                    "--resources",
+                    "4",
+                    "--max-arrivals",
+                    "1",
+                    "--strategies",
+                    "aheft,cpop",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == EXIT_OK
+        )
+        ledger = json.loads(out.read_text())
+        assert ledger["strategies"] == ["aheft", "cpop"]
+        assert [point["strategy"] for point in ledger["points"]] == ["aheft", "cpop"]
+
+    def test_multi_rejects_non_replanning_strategy(self, tmp_path):
+        assert (
+            main(
+                [
+                    "multi",
+                    "--quick",
+                    "--strategies",
+                    "olb",
+                    "--out",
+                    str(tmp_path / "x.json"),
+                ]
+            )
+            == EXIT_ERROR
+        )
+
     def test_multi_ledger_is_deterministic(self, tmp_path):
         out_a = tmp_path / "a.json"
         out_b = tmp_path / "b.json"

@@ -214,6 +214,142 @@ def _decision_tuples(result):
     ]
 
 
+class TestRegistryBitIdentity:
+    """Registry-built strategies must equal the direct constructors exactly.
+
+    ``run_case(strategies=("heft", "aheft", "minmin"))`` resolves through
+    the scheduling registry; the legacy capitalised names construct the
+    schedulers directly.  Under every registered scenario the two paths
+    must produce bit-identical makespans, reschedule counts and wasted
+    work — the registry is wiring, never semantics.
+    """
+
+    PAIRS = (("heft", "HEFT"), ("aheft", "AHEFT"), ("minmin", "MinMin"))
+
+    @pytest.mark.parametrize("scenario_name", available_scenarios())
+    def test_registry_names_equal_legacy_runners(self, scenario_name):
+        from repro.experiments.runner import ExperimentCase, run_case
+        from repro.resources.dynamics import StaticResourceModel
+
+        case = _case(v=20, seed=23)
+        registry_names = tuple(pair[0] for pair in self.PAIRS)
+        legacy_names = tuple(pair[1] for pair in self.PAIRS)
+        experiment = ExperimentCase(
+            case=case,
+            resource_model=StaticResourceModel(size=6),
+            scenario=make_scenario(scenario_name),
+            scenario_seed=11,
+        )
+        via_registry = run_case(experiment, strategies=registry_names)
+        via_legacy = run_case(experiment, strategies=legacy_names)
+        for registry_name, legacy_name in self.PAIRS:
+            assert via_registry.makespans[registry_name] == (
+                via_legacy.makespans[legacy_name]
+            )
+            assert via_registry.rescheduling_counts[registry_name] == (
+                via_legacy.rescheduling_counts[legacy_name]
+            )
+            assert via_registry.wasted_work[registry_name] == (
+                via_legacy.wasted_work[legacy_name]
+            )
+
+    @pytest.mark.parametrize("scenario_name", sorted(MEMBERSHIP_SCENARIOS))
+    def test_registry_scheduler_objects_match_direct_construction(self, scenario_name):
+        from repro.scheduling import AHEFTScheduler, HEFTScheduler, make_scheduler
+
+        case = _case(v=18, seed=5)
+        run = materialize(make_scenario(scenario_name), initial_size=5, seed=3)
+        resources = run.pool.available_at(0.0)
+        for registry_name, direct in (
+            ("heft", HEFTScheduler()),
+            ("aheft", AHEFTScheduler()),
+        ):
+            a = make_scheduler(registry_name).schedule(
+                case.workflow, case.costs, resources
+            )
+            b = direct.schedule(case.workflow, case.costs, resources)
+            assert a.to_dict() == b.to_dict()
+
+
+class TestNewStrategySanityBounds:
+    """CPOP / lookahead HEFT must land near HEFT on the Table-2 comparison.
+
+    Both are HEFT-family heuristics; across a batch of the paper's random
+    cases their mean makespan must stay within a generous band of plain
+    HEFT's (neither collapses nor explodes), and every schedule must beat
+    nothing-scheduled lower bounds trivially via feasibility (checked in
+    the invariant suite).  The band is deliberately loose — this is a
+    sanity gate, not a performance claim.
+    """
+
+    STRATEGY_BOUNDS = {"cpop": (0.6, 1.8), "lookahead_heft": (0.7, 1.4)}
+
+    def test_mean_makespan_within_band_of_heft(self):
+        from repro.scheduling import make_scheduler
+
+        resources = ["r1", "r2", "r3", "r4", "r5", "r6"]
+        ratios: dict = {name: [] for name in self.STRATEGY_BOUNDS}
+        for seed in range(8):
+            case = _case(v=30, seed=100 + seed)
+            heft = make_scheduler("heft").schedule(
+                case.workflow, case.costs, resources
+            )
+            for name in self.STRATEGY_BOUNDS:
+                other = make_scheduler(name).schedule(
+                    case.workflow, case.costs, resources
+                )
+                ratios[name].append(other.makespan() / heft.makespan())
+        for name, (low, high) in self.STRATEGY_BOUNDS.items():
+            mean_ratio = sum(ratios[name]) / len(ratios[name])
+            assert low <= mean_ratio <= high, (name, mean_ratio, ratios[name])
+
+    def test_heft_dup_zero_noise_simulation_reproduces_the_plan(self):
+        """The static executor runs duplicates as real work: under accurate
+        estimates the simulated trace reproduces the plan bit for bit —
+        duplicate slots occupied, consumers fed from the local copies."""
+        from repro.core.adaptive import run_static
+        from repro.resources.pool import ResourcePool
+        from repro.resources.resource import Resource
+        from repro.scheduling import make_scheduler
+
+        found_dup_plan = False
+        for seed in range(6):
+            case = _case(v=24, seed=300 + seed)
+            resources = ["r1", "r2", "r3", "r4"]
+            pool = ResourcePool()
+            for rid in resources:
+                pool.add(Resource(rid))
+            plan = make_scheduler("heft_dup").schedule(
+                case.workflow, case.costs, resources
+            )
+            result = run_static(
+                case.workflow, case.costs, pool, strategy="heft_dup", simulate=True
+            )
+            assert result.trace is not None
+            executed = result.trace.to_schedule()
+            assert executed.to_dict() == plan.to_dict()
+            assert executed.duplicates_to_dict() == plan.duplicates_to_dict()
+            assert result.makespan == plan.makespan()
+            found_dup_plan = found_dup_plan or bool(plan.duplicates)
+        assert found_dup_plan, "no seed produced duplicates; test is vacuous"
+
+    def test_heft_dup_never_loses_to_heft_by_much(self):
+        """Duplication is adopted only when it helps a job's EFT; schedule-
+        level makespan must stay within a few percent of plain HEFT."""
+        from repro.scheduling import make_scheduler
+
+        resources = ["r1", "r2", "r3", "r4"]
+        for seed in range(8):
+            case = _case(v=24, seed=200 + seed)
+            heft = make_scheduler("heft").schedule(
+                case.workflow, case.costs, resources
+            )
+            dup = make_scheduler("heft_dup").schedule(
+                case.workflow, case.costs, resources
+            )
+            assert dup.makespan() <= heft.makespan() * 1.10, seed
+
+
 class TestZeroNoiseDifferential:
     """Magnitude-0 error models are bit-identical to the analytic path."""
 
