@@ -9,7 +9,7 @@ the static plan.
 
 from _common import publish, run_once
 
-from repro.core.adaptive import run_adaptive, run_static
+from repro.facade import run as facade_run
 from repro.experiments.reporting import format_table
 from repro.generators.sample import (
     sample_dag_cost_model,
@@ -22,8 +22,8 @@ def _experiment():
     workflow = sample_dag_workflow()
     costs = sample_dag_cost_model(workflow)
     pool = sample_dag_pool()
-    heft = run_static(workflow, costs, pool)
-    aheft = run_adaptive(workflow, costs, pool)
+    heft = facade_run(workflow, pool, mode="static", costs=costs)
+    aheft = facade_run(workflow, pool, mode="adaptive", costs=costs)
     return heft, aheft
 
 
@@ -35,7 +35,7 @@ def test_fig5_sample_dag(benchmark):
     ]
     table = format_table(["schedule", "paper", "measured"], rows)
     table += (
-        f"\nevents evaluated: {aheft.evaluated_events}, "
+        f"\nevents evaluated: {aheft.raw.evaluated_events}, "
         f"reschedules adopted: {aheft.rescheduling_count}"
     )
     publish("fig5_sample_dag", table)

@@ -17,6 +17,10 @@ rank reuse, hoisted inner loops) and on the seed implementation preserved in
 * the fast kernel is ≥5× faster on 1000-job static HEFT and ≥3× faster on
   the 10-event adaptive run.
 
+It also gates the shared discrete-event core (ISSUE 7): heap dispatch in
+:class:`repro.simulation.event_core.EventCore` must account for ≤10% of the
+1000-job adaptive run's wall clock (``event_core_overhead``).
+
 Results go to ``benchmarks/results/kernel_scaling.{txt,json}`` and to a
 top-level ``BENCH_kernel.json`` so the performance trajectory is tracked
 across PRs.  Run directly (``python benchmarks/bench_kernel_scaling.py
@@ -33,7 +37,7 @@ from typing import Callable, Dict, List, Optional
 
 from _common import publish, run_once
 
-from repro.core.adaptive import run_adaptive
+from repro.facade import run as facade_run
 from repro.generators.random_dag import RandomDAGParameters, generate_random_case
 from repro.resources.dynamics import ResourceChangeModel
 from repro.scheduling._seed_reference import (
@@ -42,6 +46,7 @@ from repro.scheduling._seed_reference import (
 )
 from repro.scheduling.aheft import AHEFTScheduler
 from repro.scheduling.heft import heft_schedule
+from repro.simulation.event_core import EventCore
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -57,6 +62,13 @@ AHEFT_EVENTS = 10
 #: at least this much.
 MIN_HEFT_SPEEDUP_AT_1000 = 5.0
 MIN_AHEFT_SPEEDUP = 3.0
+
+#: Acceptance threshold (ISSUE 7): heap dispatch of the shared event core
+#: must stay within this fraction of total adaptive-run wall clock.
+MAX_EVENT_CORE_OVERHEAD = 0.10
+
+#: Event-core overhead is probed on the largest adaptive case.
+OVERHEAD_V = 1000
 
 
 def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
@@ -130,16 +142,16 @@ def measure_adaptive_aheft(v: int = AHEFT_V, events: int = AHEFT_EVENTS) -> Dict
     )
     pool = model.build_pool()
     _warm_cost_draws(workflow, costs, pool.available_at(float("inf")))
-    seed_time = _best_of(
-        lambda: run_adaptive(workflow, costs, pool, scheduler=SeedAHEFTScheduler()),
-        repeats=2,
-    )
-    fast_time = _best_of(
-        lambda: run_adaptive(workflow, costs, pool, scheduler=AHEFTScheduler()),
-        repeats=3,
-    )
-    fast = run_adaptive(workflow, costs, pool, scheduler=AHEFTScheduler())
-    seed = run_adaptive(workflow, costs, pool, scheduler=SeedAHEFTScheduler())
+
+    def adaptive(scheduler):
+        return facade_run(
+            workflow, pool, mode="adaptive", costs=costs, strategy=scheduler
+        ).raw
+
+    seed_time = _best_of(lambda: adaptive(SeedAHEFTScheduler()), repeats=2)
+    fast_time = _best_of(lambda: adaptive(AHEFTScheduler()), repeats=3)
+    fast = adaptive(AHEFTScheduler())
+    seed = adaptive(SeedAHEFTScheduler())
     if fast.final_schedule.to_dict() != seed.final_schedule.to_dict():
         raise AssertionError("adaptive fast kernel diverged from seed kernel")
     if fast.makespan != seed.makespan:
@@ -158,13 +170,65 @@ def measure_adaptive_aheft(v: int = AHEFT_V, events: int = AHEFT_EVENTS) -> Dict
     }
 
 
+def measure_event_core_overhead(
+    v: int = OVERHEAD_V, events: int = AHEFT_EVENTS
+) -> Dict[str, float]:
+    """Heap-dispatch overhead of the shared event core on an adaptive run.
+
+    All four execution paths replay through :class:`EventCore`; this probes
+    the adaptive path (the event-densest one) with the class-level
+    instrumentation split: ``dispatch_seconds`` is heap pop + bookkeeping,
+    ``handler_seconds`` is the policy callbacks (rescheduling itself).  The
+    *fraction* is the gated quantity — it is a ratio of wall clocks measured
+    in the same run, so it stays meaningful on throttled CI runners.
+    """
+    case = _random_case(v, seed=11)
+    workflow, costs = case.workflow, case.costs
+    model = ResourceChangeModel(
+        initial_size=10, interval=120.0, fraction=0.15, max_events=events
+    )
+    pool = model.build_pool()
+    _warm_cost_draws(workflow, costs, pool.available_at(float("inf")))
+
+    def adaptive():
+        return facade_run(workflow, pool, mode="adaptive", costs=costs)
+
+    adaptive()  # warm run: lazy caches priced outside the instrumented pass
+    EventCore.instrument(True)
+    try:
+        result = adaptive()
+        stats = dict(EventCore.stats)
+    finally:
+        EventCore.instrument(False)
+    total = stats["dispatch_seconds"] + stats["handler_seconds"]
+    fraction = stats["dispatch_seconds"] / total if total > 0 else 0.0
+    return {
+        "v": v,
+        "pool_events": events,
+        "events_processed": int(stats["events"]),
+        "events_evaluated": result.raw.evaluated_events,
+        "dispatch_seconds": stats["dispatch_seconds"],
+        "handler_seconds": stats["handler_seconds"],
+        "overhead_fraction": fraction,
+        "makespan": result.makespan,
+    }
+
+
 def kernel_scaling_results(*, quick: bool = False) -> Dict[str, object]:
     sizes = (50, 100) if quick else HEFT_SIZES
     heft_rows = measure_static_heft(sizes)
     aheft_row = measure_adaptive_aheft(
         v=100 if quick else AHEFT_V, events=5 if quick else AHEFT_EVENTS
     )
-    return {"quick": quick, "static_heft": heft_rows, "adaptive_aheft": aheft_row}
+    overhead_row = measure_event_core_overhead(
+        v=300 if quick else OVERHEAD_V, events=AHEFT_EVENTS
+    )
+    return {
+        "quick": quick,
+        "static_heft": heft_rows,
+        "adaptive_aheft": aheft_row,
+        "event_core_overhead": overhead_row,
+    }
 
 
 def render(results: Dict[str, object]) -> str:
@@ -186,6 +250,13 @@ def render(results: Dict[str, object]) -> str:
         f"fast {a['fast_reschedule_latency'] * 1e3:8.1f} ms   "
         f"speedup {a['speedup']:.1f}x"
     )
+    o = results["event_core_overhead"]
+    lines.append("")
+    lines.append(
+        f"event core (V={o['v']}, {o['events_processed']} events dispatched): "
+        f"overhead {o['overhead_fraction'] * 100:.2f}% of adaptive wall clock "
+        f"(gate ≤ {MAX_EVENT_CORE_OVERHEAD * 100:.0f}%)"
+    )
     return "\n".join(lines)
 
 
@@ -199,6 +270,14 @@ def check_thresholds(results: Dict[str, object]) -> None:
     """
     largest = results["static_heft"][-1]
     aheft = results["adaptive_aheft"]
+    overhead = results["event_core_overhead"]
+    # the overhead gate is a same-run ratio, robust to runner throttling, so
+    # it is enforced in quick mode too
+    assert overhead["overhead_fraction"] <= MAX_EVENT_CORE_OVERHEAD, (
+        f"event-core dispatch overhead {overhead['overhead_fraction'] * 100:.1f}% "
+        f"of adaptive wall clock exceeds the "
+        f"{MAX_EVENT_CORE_OVERHEAD * 100:.0f}% ceiling"
+    )
     if results.get("quick"):
         print(
             f"(quick mode: speedups {largest['speedup']:.1f}x HEFT / "

@@ -12,7 +12,8 @@ Run with:  python examples/blast_rescheduling.py [parallelism]
 
 import sys
 
-from repro import ResourceChangeModel, run_adaptive, run_dynamic, run_static
+import repro
+from repro import ResourceChangeModel
 from repro.generators.blast import generate_blast_case
 from repro.workflow.analysis import max_parallelism, parallelism_profile
 
@@ -29,9 +30,9 @@ def main() -> None:
           f"level profile: {parallelism_profile(case.workflow)[:6]}...")
     print(f"grid: {model.describe()} — {model.added_per_event} resource(s) join every Δ\n")
 
-    heft = run_static(case.workflow, case.costs, pool)
-    aheft = run_adaptive(case.workflow, case.costs, pool)
-    minmin = run_dynamic(case.workflow, case.costs, pool)
+    heft = repro.run(case.workflow, pool, costs=case.costs, mode="static")
+    aheft = repro.run(case.workflow, pool, costs=case.costs, mode="adaptive")
+    minmin = repro.run(case.workflow, pool, costs=case.costs, mode="dynamic")
 
     improvement = (heft.makespan - aheft.makespan) / heft.makespan * 100.0
     print(f"{'strategy':<12}{'makespan':>12}")
@@ -40,11 +41,11 @@ def main() -> None:
     print(f"{'AHEFT':<12}{aheft.makespan:>12.1f}")
     print(f"{'MinMin':<12}{minmin.makespan:>12.1f}")
     print()
-    print(f"AHEFT adopted {aheft.rescheduling_count} of {aheft.evaluated_events} "
+    print(f"AHEFT adopted {aheft.rescheduling_count} of {aheft.metrics['evaluated_events']} "
           f"rescheduling opportunities")
     print(f"AHEFT improvement over HEFT: {improvement:.1f}% "
           f"(the paper reports 20.4% averaged over its full Table 5 grid)")
-    extra = [r for r in aheft.final_schedule.resources_used()
+    extra = [r for r in aheft.schedule.resources_used()
              if pool.resource(r).available_from > 0]
     print(f"late-joining resources actually used by AHEFT: {len(extra)}")
 

@@ -14,7 +14,7 @@ This walks the Fig. 4/5 scenario of the paper end to end:
 Run with:  python examples/quickstart.py
 """
 
-from repro import run_adaptive, run_static
+import repro
 from repro.generators.sample import (
     sample_dag_cost_model,
     sample_dag_pool,
@@ -34,14 +34,14 @@ def main() -> None:
     print(f"initial resources: {pool.initial_resources()}")
     print(f"r4 joins at t={pool.resource('r4').available_from:g}\n")
 
-    static = run_static(workflow, costs, pool)
+    static = repro.run(workflow, pool, costs=costs, mode="static")
     print("--- static HEFT (paper reports makespan 80) ---")
     print(f"makespan: {static.makespan:.1f}")
-    print(render_gantt(static.final_schedule, width=60), "\n")
+    print(render_gantt(static.schedule, width=60), "\n")
 
-    adaptive = run_adaptive(workflow, costs, pool)
+    adaptive = repro.run(workflow, pool, costs=costs, mode="adaptive")
     print("--- AHEFT adaptive rescheduling ---")
-    print(f"events evaluated: {adaptive.evaluated_events}, "
+    print(f"events evaluated: {adaptive.metrics['evaluated_events']}, "
           f"reschedules adopted: {adaptive.rescheduling_count}")
     for decision in adaptive.decisions:
         verdict = "adopted" if decision.adopted else "kept previous plan"
@@ -50,9 +50,9 @@ def main() -> None:
             f"{decision.candidate_makespan:.1f} vs {decision.previous_makespan:.1f} ({verdict})"
         )
     print(f"final makespan: {adaptive.makespan:.1f}")
-    print(render_gantt(adaptive.final_schedule, width=60), "\n")
+    print(render_gantt(adaptive.schedule, width=60), "\n")
 
-    trace = StaticScheduleExecutor(workflow, costs, adaptive.final_schedule, pool).run()
+    trace = StaticScheduleExecutor(workflow, costs, adaptive.schedule, pool).run()
     print("--- replay on the discrete-event simulator ---")
     print(f"simulated makespan: {trace.makespan():.1f} "
           f"(matches the plan: {abs(trace.makespan() - adaptive.makespan) < 1e-9})")

@@ -9,7 +9,8 @@ without touching the running execution.
 Run with:  python examples/whatif_analysis.py
 """
 
-from repro import ResourceChangeModel, run_static
+import repro
+from repro import ResourceChangeModel
 from repro.core.whatif import WhatIfAnalyzer
 from repro.generators.montage import generate_montage_case
 from repro.resources.resource import Resource
@@ -18,8 +19,8 @@ from repro.resources.resource import Resource
 def main() -> None:
     case = generate_montage_case(40, ccr=2.0, beta=0.5, omega_dag=200.0, seed=3)
     pool = ResourceChangeModel(initial_size=8, interval=1000.0, fraction=0.1).build_pool()
-    baseline = run_static(case.workflow, case.costs, pool)
-    schedule = baseline.final_schedule
+    baseline = repro.run(case.workflow, pool, costs=case.costs, mode="static")
+    schedule = baseline.schedule
     clock = schedule.makespan() * 0.25
 
     print("=== Montage workflow: what-if queries at 25% of the execution ===")

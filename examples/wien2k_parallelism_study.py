@@ -11,7 +11,8 @@ the paper's Table 7.
 Run with:  python examples/wien2k_parallelism_study.py
 """
 
-from repro import ResourceChangeModel, run_adaptive, run_static
+import repro
+from repro import ResourceChangeModel
 from repro.generators.blast import generate_blast_case
 from repro.generators.wien2k import generate_wien2k_case
 
@@ -19,8 +20,8 @@ from repro.generators.wien2k import generate_wien2k_case
 def improvement_for(generator, parallelism: int) -> tuple[float, float, float]:
     case = generator(parallelism, ccr=1.0, beta=0.5, omega_dag=300.0, seed=7)
     pool = ResourceChangeModel(initial_size=20, interval=400.0, fraction=0.15).build_pool()
-    heft = run_static(case.workflow, case.costs, pool)
-    aheft = run_adaptive(case.workflow, case.costs, pool)
+    heft = repro.run(case.workflow, pool, costs=case.costs, mode="static")
+    aheft = repro.run(case.workflow, pool, costs=case.costs, mode="adaptive")
     rate = (heft.makespan - aheft.makespan) / heft.makespan * 100.0
     return heft.makespan, aheft.makespan, rate
 

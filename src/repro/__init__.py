@@ -11,16 +11,24 @@ and figures.
 
 Quickstart
 ----------
->>> from repro import (
-...     generate_blast_case, ResourceChangeModel, run_static, run_adaptive,
-... )
->>> case = generate_blast_case(50, ccr=5.0, beta=0.5, seed=7)
->>> pool = ResourceChangeModel(initial_size=10, interval=400, fraction=0.2).build_pool()
->>> heft = run_static(case.workflow, case.costs, pool)
->>> aheft = run_adaptive(case.workflow, case.costs, pool)
+Every execution mode goes through one entry point, :func:`repro.run`:
+
+>>> import repro
+>>> case = repro.generate_blast_case(50, ccr=5.0, beta=0.5, seed=7)
+>>> pool = repro.ResourceChangeModel(initial_size=10, interval=400, fraction=0.2).build_pool()
+>>> heft = repro.run(case.workflow, pool, costs=case.costs, mode="static")
+>>> aheft = repro.run(case.workflow, pool, costs=case.costs, mode="adaptive")
 >>> aheft.makespan <= heft.makespan
 True
+
+Strategies, scenarios and error models are addressed by name through one
+registry facade (:mod:`repro.registry`): ``repro.registry.available
+("scheduler")``, ``repro.run(..., strategy="cpop", scenario="paper",
+error_model="gaussian")``.
 """
+
+from repro import registry
+from repro.facade import RunResult, run
 
 from repro.workflow import (
     Job,
@@ -104,6 +112,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # facade
+    "run",
+    "RunResult",
+    "registry",
     # workflow
     "Job",
     "Workflow",

@@ -1,0 +1,48 @@
+"""Once-per-process deprecation warnings for the legacy entry points.
+
+The PR that introduced :func:`repro.run` kept the historical runners
+(``run_static``/``run_adaptive``/``run_dynamic``) and direct
+``SharedGridExecutor`` construction working bit-identically, but they now
+announce themselves as deprecated — **exactly once per process** per
+name, so sweeps calling a runner thousands of times do not flood stderr.
+
+:func:`suppress` scopes out the warning for internal forwarding: the
+facade itself (and other in-package callers) build on the same code
+paths, which must not look deprecated to the user.  :func:`reset` clears
+the once-per-process memory, for tests that assert warning behaviour.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import warnings
+from typing import Iterator, Set
+
+__all__ = ["warn_once", "suppress", "reset"]
+
+_warned: Set[str] = set()
+_suppressed = 0
+
+
+def warn_once(name: str, message: str) -> None:
+    """Emit ``DeprecationWarning`` for ``name`` — only the first time."""
+    if _suppressed or name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+@contextlib.contextmanager
+def suppress() -> Iterator[None]:
+    """Silence :func:`warn_once` inside the block (internal forwarding)."""
+    global _suppressed
+    _suppressed += 1
+    try:
+        yield
+    finally:
+        _suppressed -= 1
+
+
+def reset() -> None:
+    """Forget which names already warned (test hook)."""
+    _warned.clear()

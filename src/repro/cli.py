@@ -53,21 +53,22 @@ class CliError(Exception):
 # repro scenarios
 # ----------------------------------------------------------------------
 def _cmd_scenarios(args: argparse.Namespace) -> int:
-    from repro.scenarios import available_scenarios, make_scenario, scenario_summary
+    from repro import registry
 
+    names = registry.available("scenario")
     if args.json:
         payload = {
             name: {
-                "summary": scenario_summary(name),
-                "defaults": make_scenario(name).params(),
+                "summary": registry.describe("scenario", name)["summary"],
+                "defaults": registry.describe("scenario", name)["defaults"],
             }
-            for name in available_scenarios()
+            for name in names
         }
         print(json.dumps(payload, indent=2, sort_keys=True, default=str))
         return EXIT_OK
-    width = max(len(name) for name in available_scenarios())
-    for name in available_scenarios():
-        print(f"{name:<{width}}  {scenario_summary(name)}")
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name:<{width}}  {registry.describe('scenario', name)['summary']}")
     return EXIT_OK
 
 
@@ -75,34 +76,30 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 # repro strategies
 # ----------------------------------------------------------------------
 def _cmd_strategies(args: argparse.Namespace) -> int:
-    from repro.scheduling.registry import (
-        available_schedulers,
-        scheduler_kind,
-        scheduler_parameters,
-        scheduler_summary,
-    )
+    from repro import registry
 
+    names = registry.available("scheduler")
+    infos = {name: registry.describe("scheduler", name) for name in names}
     if args.json:
         payload = {
             name: {
-                "kind": scheduler_kind(name),
-                "summary": scheduler_summary(name),
-                "params": scheduler_parameters(name),
+                "kind": info["kind"],
+                "summary": info["summary"],
+                "params": info["params"],
             }
-            for name in available_schedulers()
+            for name, info in infos.items()
         }
         print(json.dumps(payload, indent=2, sort_keys=True, default=str))
         return EXIT_OK
-    names = available_schedulers()
     width = max(len(name) for name in names)
-    kind_width = max(len(scheduler_kind(name)) for name in names)
+    kind_width = max(len(info["kind"]) for info in infos.values())
     for name in names:
+        info = infos[name]
         params = ", ".join(
-            f"{key}={value}" for key, value in scheduler_parameters(name).items()
+            f"{key}={value}" for key, value in info["params"].items()
         )
         line = (
-            f"{name:<{width}}  {scheduler_kind(name):<{kind_width}}  "
-            f"{scheduler_summary(name)}"
+            f"{name:<{width}}  {info['kind']:<{kind_width}}  {info['summary']}"
         )
         if params:
             line += f"  [{params}]"

@@ -39,6 +39,7 @@ from repro.scheduling.base import (
 )
 from repro.scheduling.heft import HEFTScheduler
 from repro.scheduling.minmin import MinMinScheduler
+from repro.simulation.event_core import Event, EventCore, EventKind
 from repro.simulation.executor import JustInTimeExecutor, StaticScheduleExecutor
 from repro.simulation.trace import ExecutionTrace
 from repro.workflow.costs import CostModel, ErrorModel, PerturbedCostModel
@@ -296,13 +297,16 @@ class AdaptiveReschedulingLoop:
             list(events) if events is not None else pool.events(), perf_profile
         )
 
-        for clock in sorted(triggers):
-            event = triggers[clock]
+        core = EventCore()
+
+        def on_trigger(clock: float, event: Optional[PoolEvent]) -> None:
+            nonlocal current, wasted, killed_jobs
             if clock >= current.makespan() - TIME_EPS:
-                break  # the workflow finished before this event
+                core.stop()  # the workflow finished before this event
+                return
             resources = pool.available_at(clock)
             if not resources:
-                continue
+                return
             state = ExecutionState.from_schedule(current, clock, jobs=workflow.jobs)
 
             removed_set = frozenset(event.removed) if event is not None else frozenset()
@@ -350,6 +354,16 @@ class AdaptiveReschedulingLoop:
             )
             if adopt:
                 current = candidate
+
+        for clock in sorted(triggers):
+            event = triggers[clock]
+            core.post(
+                clock,
+                lambda c=clock, e=event: on_trigger(c, e),
+                kind=EventKind.POOL_CHANGE if event is not None else EventKind.PERF_CHANGE,
+                label=describe_pool_event(event) if event is not None else "perf-change",
+            )
+        core.run()
         return AdaptiveRunResult(
             strategy=strategy_name or getattr(self.scheduler, "name", "adaptive"),
             initial_schedule=initial,
@@ -605,37 +619,60 @@ class AdaptiveReschedulingLoop:
         static_index = 0
         last_clock = float("-inf")
         projection = project(current)
-        while True:
-            completion = max(
-                [a.finish for a in truth_assign.values()]
-                + [a.finish for a in projection.values()],
-                default=0.0,
-            )
+
+        core = EventCore()
+        deviation_event: Optional[Event] = None
+
+        def arm_deviation() -> None:
+            """(Re)arm the monitor's single pending deviation trigger.
+
+            The next deviating completion becomes an event only when it
+            *strictly* precedes the next grid event (minus ``TIME_EPS``):
+            on a tie the grid event is the trigger and the deviation is
+            absorbed into its re-evaluation.  Recomputed after every
+            processed trigger, because each adoption moves the projected
+            completions.
+            """
+            nonlocal deviation_event
+            if deviation_event is not None:
+                deviation_event.cancel()
+                deviation_event = None
+            deviation_at = next_deviation(projection, last_clock)
+            if deviation_at is None:
+                return
             next_static = (
                 static_times[static_index]
                 if static_index < len(static_times)
                 else None
             )
-            deviation_at = next_deviation(projection, last_clock)
-            if deviation_at is not None and (
-                next_static is None or deviation_at < next_static - TIME_EPS
-            ):
-                clock = deviation_at
-                event = None
-                is_deviation = True
-            elif next_static is not None:
-                clock = next_static
-                event = triggers[clock]
-                is_deviation = False
+            if next_static is not None and not (deviation_at < next_static - TIME_EPS):
+                return
+            deviation_event = core.post(
+                deviation_at,
+                lambda t=deviation_at: on_trigger(t, None, True),
+                kind=EventKind.DEVIATION,
+                label="deviation",
+            )
+
+        def on_trigger(
+            clock: float, event: Optional[PoolEvent], is_deviation: bool
+        ) -> None:
+            nonlocal current, wasted, killed_jobs, last_clock, static_index, projection
+            if not is_deviation:
                 static_index += 1
-            else:
-                break  # no further events of interest
+            completion = max(
+                [a.finish for a in truth_assign.values()]
+                + [a.finish for a in projection.values()],
+                default=0.0,
+            )
             if clock >= completion - TIME_EPS:
-                break  # the workflow actually finished before this event
+                core.stop()  # the workflow actually finished before this event
+                return
             last_clock = clock
             resources = pool.available_at(clock)
             if not resources:
-                continue
+                arm_deviation()
+                return
             commit(projection, clock)
             state = snapshot(clock)
 
@@ -693,6 +730,18 @@ class AdaptiveReschedulingLoop:
             if adopt:
                 current = candidate
             projection = project(current)
+            arm_deviation()
+
+        for trigger_time in static_times:
+            trigger = triggers[trigger_time]
+            core.post(
+                trigger_time,
+                lambda c=trigger_time, e=trigger: on_trigger(c, e, False),
+                kind=EventKind.POOL_CHANGE if trigger is not None else EventKind.PERF_CHANGE,
+                label=describe_pool_event(trigger) if trigger is not None else "perf-change",
+            )
+        arm_deviation()
+        core.run()
 
         # drain: the remaining projection is the actual tail of the run
         for assignment in projection.values():
@@ -1008,7 +1057,7 @@ def _resolve_actual_costs(
     return None
 
 
-def run_static(
+def _run_static_impl(
     workflow: Workflow,
     costs: CostModel,
     pool: ResourcePool,
@@ -1078,7 +1127,7 @@ def run_static(
     )
 
 
-def run_adaptive(
+def _run_adaptive_impl(
     workflow: Workflow,
     costs: CostModel,
     pool: ResourcePool,
@@ -1150,7 +1199,7 @@ def run_adaptive(
     )
 
 
-def run_dynamic(
+def _run_dynamic_impl(
     workflow: Workflow,
     costs: CostModel,
     pool: ResourcePool,
@@ -1186,4 +1235,146 @@ def run_dynamic(
         final_schedule=schedule,
         trace=trace,
         killed_jobs=len({k.job_id for k in trace.kills}),
+    )
+
+
+# ----------------------------------------------------------------------
+# deprecated public runners: thin shims over the repro.run facade
+# ----------------------------------------------------------------------
+_DEPRECATION_HINT = (
+    "is deprecated; call repro.run(workflow, pool, costs=costs, "
+    "mode={mode!r}) instead (bit-identical result via .raw)"
+)
+
+
+def _shim(mode: str, which: str, workflow, costs, pool, strategy, scheduler, options):
+    from repro import _deprecation
+    from repro.facade import run as _facade_run
+
+    _deprecation.warn_once(which, f"{which}() " + _DEPRECATION_HINT.format(mode=mode))
+    if strategy is not None and scheduler is not None:
+        raise ValueError("pass either strategy= or scheduler=, not both")
+    return _facade_run(
+        workflow,
+        pool,
+        mode=mode,
+        costs=costs,
+        strategy=strategy if strategy is not None else scheduler,
+        **options,
+    ).raw
+
+
+def run_static(
+    workflow: Workflow,
+    costs: CostModel,
+    pool: ResourcePool,
+    *,
+    scheduler: Optional[HEFTScheduler] = None,
+    strategy: Optional[str] = None,
+    actual_costs: Optional[CostModel] = None,
+    error_model: Optional[ErrorModel] = None,
+    history: Optional[PerformanceHistoryRepository] = None,
+    simulate: bool = False,
+    perf_profile=None,
+    departure_policy: str = "failover",
+) -> AdaptiveRunResult:
+    """Deprecated alias of ``repro.run(..., mode="static")``.
+
+    See :func:`_run_static_impl` for the semantics; the shim forwards to
+    the facade and returns the identical :class:`AdaptiveRunResult`.
+    """
+    return _shim(
+        "static",
+        "run_static",
+        workflow,
+        costs,
+        pool,
+        strategy,
+        scheduler,
+        dict(
+            actual_costs=actual_costs,
+            error_model=error_model,
+            history=history,
+            simulate=simulate,
+            perf_profile=perf_profile,
+            departure_policy=departure_policy,
+        ),
+    )
+
+
+def run_adaptive(
+    workflow: Workflow,
+    costs: CostModel,
+    pool: ResourcePool,
+    *,
+    scheduler: Optional[AHEFTScheduler] = None,
+    strategy: Optional[str] = None,
+    accept_only_if_better: bool = True,
+    perf_profile=None,
+    actual_costs: Optional[CostModel] = None,
+    error_model: Optional[ErrorModel] = None,
+    history: Optional[PerformanceHistoryRepository] = None,
+    feedback: bool = True,
+    blend: float = 1.0,
+    predictor_mode: str = "ratio",
+    replan_on_deviation: Optional[float] = 0.1,
+) -> AdaptiveRunResult:
+    """Deprecated alias of ``repro.run(..., mode="adaptive")``.
+
+    See :func:`_run_adaptive_impl` for the semantics; the shim forwards to
+    the facade and returns the identical :class:`AdaptiveRunResult`.
+    """
+    return _shim(
+        "adaptive",
+        "run_adaptive",
+        workflow,
+        costs,
+        pool,
+        strategy,
+        scheduler,
+        dict(
+            accept_only_if_better=accept_only_if_better,
+            perf_profile=perf_profile,
+            actual_costs=actual_costs,
+            error_model=error_model,
+            history=history,
+            feedback=feedback,
+            blend=blend,
+            predictor_mode=predictor_mode,
+            replan_on_deviation=replan_on_deviation,
+        ),
+    )
+
+
+def run_dynamic(
+    workflow: Workflow,
+    costs: CostModel,
+    pool: ResourcePool,
+    *,
+    mapper=None,
+    strategy: Optional[str] = None,
+    actual_costs: Optional[CostModel] = None,
+    error_model: Optional[ErrorModel] = None,
+    history: Optional[PerformanceHistoryRepository] = None,
+    perf_profile=None,
+) -> AdaptiveRunResult:
+    """Deprecated alias of ``repro.run(..., mode="dynamic")``.
+
+    See :func:`_run_dynamic_impl` for the semantics; the shim forwards to
+    the facade and returns the identical :class:`AdaptiveRunResult`.
+    """
+    return _shim(
+        "dynamic",
+        "run_dynamic",
+        workflow,
+        costs,
+        pool,
+        strategy,
+        mapper,
+        dict(
+            actual_costs=actual_costs,
+            error_model=error_model,
+            history=history,
+            perf_profile=perf_profile,
+        ),
     )

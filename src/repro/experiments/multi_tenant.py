@@ -26,7 +26,8 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.metrics import average, jain_fairness_index, percentile
-from repro.simulation.shared_grid import SharedGridExecutor, SharedGridResult
+from repro.facade import run as facade_run
+from repro.simulation.shared_grid import SharedGridResult
 from repro.workload.streams import TenantSpec, WorkloadStream, default_tenants
 
 __all__ = [
@@ -233,15 +234,15 @@ def run_multi_tenant_case(
     specs = tenants if tenants is not None else config.build_tenants()
     stream = WorkloadStream(specs, seed=config.seed, horizon=config.horizon)
     scenario_run = config.build_scenario_run()
-    executor = SharedGridExecutor(
-        stream.arrivals(),
+    result = facade_run(
+        stream,
         scenario_run.pool,
+        mode="multi",
         perf_profile=scenario_run.profile,
         policy=config.policy,
         tenant_weights=stream.weights(),
         strategy=config.strategy,
-    )
-    result = executor.run()
+    ).raw
     per_tenant = {
         tenant: _tenant_metrics(result, tenant) for tenant in result.tenants()
     }

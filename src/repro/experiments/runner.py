@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from repro.core.adaptive import AdaptiveRunResult, run_adaptive, run_dynamic, run_static
 from repro.experiments.metrics import improvement_rate
+from repro.facade import RunResult, run as facade_run
 from repro.generators.costs import WorkflowCase
 from repro.resources.dynamics import ResourceChangeModel, StaticResourceModel
 from repro.resources.pool import ResourcePool
@@ -32,7 +32,7 @@ __all__ = [
     "STRATEGY_RUNNERS",
 ]
 
-#: strategy name -> runner(workflow, costs, pool, **kwargs) -> AdaptiveRunResult
+#: strategy name -> runner(workflow, costs, pool, **kwargs) -> RunResult
 #: (``perf_profile=...`` is forwarded for scenario runs).  These legacy
 #: capitalised names predate the scheduling registry and are kept because
 #: committed benchmark baselines key on them; every *registry* name
@@ -41,23 +41,29 @@ __all__ = [
 #: prefix that runs any replanning-capable strategy inside the adaptive
 #: loop (the AHEFT ablation hook).
 STRATEGY_RUNNERS: Dict[str, Callable] = {
-    "HEFT": lambda wf, costs, pool, **kw: run_static(
-        wf, costs, pool, scheduler=HEFTScheduler(), **kw
+    "HEFT": lambda wf, costs, pool, **kw: facade_run(
+        wf, pool, mode="static", costs=costs, strategy=HEFTScheduler(), **kw
     ),
-    "AHEFT": lambda wf, costs, pool, **kw: run_adaptive(
-        wf, costs, pool, scheduler=AHEFTScheduler(), **kw
+    "AHEFT": lambda wf, costs, pool, **kw: facade_run(
+        wf, pool, mode="adaptive", costs=costs, strategy=AHEFTScheduler(), **kw
     ),
-    "MinMin": lambda wf, costs, pool, **kw: run_dynamic(
-        wf, costs, pool, mapper=MinMinScheduler(), **kw
+    "MinMin": lambda wf, costs, pool, **kw: facade_run(
+        wf, pool, mode="dynamic", costs=costs, strategy=MinMinScheduler(), **kw
     ),
-    "MaxMin": lambda wf, costs, pool, **kw: run_dynamic(
-        wf, costs, pool, mapper=MaxMinScheduler(), **kw
+    "MaxMin": lambda wf, costs, pool, **kw: facade_run(
+        wf, pool, mode="dynamic", costs=costs, strategy=MaxMinScheduler(), **kw
     ),
-    "Sufferage": lambda wf, costs, pool, **kw: run_dynamic(
-        wf, costs, pool, mapper=SufferageScheduler(), **kw
+    "Sufferage": lambda wf, costs, pool, **kw: facade_run(
+        wf, pool, mode="dynamic", costs=costs, strategy=SufferageScheduler(), **kw
     ),
-    "AHEFT-always": lambda wf, costs, pool, **kw: run_adaptive(
-        wf, costs, pool, scheduler=AHEFTScheduler(), accept_only_if_better=False, **kw
+    "AHEFT-always": lambda wf, costs, pool, **kw: facade_run(
+        wf,
+        pool,
+        mode="adaptive",
+        costs=costs,
+        strategy=AHEFTScheduler(),
+        accept_only_if_better=False,
+        **kw,
     ),
 }
 
@@ -91,15 +97,11 @@ def resolve_strategy_runner(name: str) -> Callable:
                 f"strategy {name!r}: {base!r} cannot replan "
                 "(no reschedule interface)"
             )
-        return lambda wf, costs, pool, **kw: run_adaptive(
-            wf, costs, pool, strategy=base, **kw
-        )
-    if info.kind == "dynamic":
-        return lambda wf, costs, pool, **kw: run_dynamic(
-            wf, costs, pool, strategy=base, **kw
-        )
-    return lambda wf, costs, pool, **kw: run_static(
-        wf, costs, pool, strategy=base, **kw
+        mode = "adaptive"
+    else:
+        mode = info.kind
+    return lambda wf, costs, pool, **kw: facade_run(
+        wf, pool, mode=mode, costs=costs, strategy=base, **kw
     )
 
 
@@ -229,7 +231,7 @@ def run_case(
     for strategy in strategies:
         if experiment.scenario is not None:
             scenario_run = experiment.build_scenario_run()
-            result: AdaptiveRunResult = runners[strategy](
+            result: RunResult = runners[strategy](
                 experiment.case.workflow,
                 experiment.case.costs,
                 scenario_run.pool,

@@ -1,0 +1,151 @@
+"""One uniform interface over the repo's three component registries.
+
+The package grew three parallel registries — scheduling strategies
+(:data:`repro.scheduling.registry.SCHEDULERS`), scenarios
+(:mod:`repro.scenarios.library`) and estimate-error families
+(:data:`repro.workflow.costs.ERROR_MODELS`) — each with its own
+``available_*`` / ``make_*`` / ``*_summary`` helpers.  This module is the
+one front door:
+
+>>> from repro import registry
+>>> registry.available("scheduler")       # doctest: +ELLIPSIS
+['aheft', 'cpop', ...]
+>>> registry.make("error_model", "gaussian", magnitude=0.3, seed=7)
+... # doctest: +SKIP
+>>> registry.describe("scenario", "paper")["summary"]
+"the paper's join-only (R, Δ, δ) model"
+
+The historical module-level helpers (``make_scheduler``,
+``make_scenario``, ``make_error_model``, …) remain supported as thin
+wrappers over these three functions, and error semantics are preserved
+per kind: unknown schedulers and error models raise :class:`KeyError`,
+unknown scenarios raise :class:`~repro.scenarios.base.ScenarioError` —
+with the same messages the domain helpers always produced.
+
+Imports of the domain registries happen lazily inside each function, so
+this module can sit at the package root without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["KINDS", "available", "make", "describe"]
+
+#: The registry kinds understood by :func:`available`/:func:`make`/:func:`describe`.
+KINDS = ("scheduler", "scenario", "error_model")
+
+#: accepted spellings (the CLI and the facade say "strategy")
+_ALIASES = {"strategy": "scheduler", "error-model": "error_model"}
+
+
+def _resolve_kind(kind: str) -> str:
+    resolved = _ALIASES.get(kind, kind)
+    if resolved not in KINDS:
+        raise KeyError(f"unknown registry kind {kind!r}; choose from {KINDS}")
+    return resolved
+
+
+def available(kind: str) -> List[str]:
+    """Registered component names of one ``kind``, sorted."""
+    kind = _resolve_kind(kind)
+    if kind == "scheduler":
+        from repro.scheduling.registry import SCHEDULERS
+
+        return sorted(SCHEDULERS)
+    if kind == "scenario":
+        from repro.scenarios.library import _REGISTRY
+
+        return sorted(_REGISTRY)
+    from repro.workflow.costs import ERROR_MODELS
+
+    return sorted(ERROR_MODELS)
+
+
+def make(kind: str, name: str, **params):
+    """Instantiate the registered component ``name`` of ``kind``.
+
+    ``params`` are forwarded to the component's factory.  For error
+    models, ``magnitude`` (the family's primary knob) and ``seed`` carry
+    the semantics of :func:`repro.workflow.costs.make_error_model`.
+    """
+    kind = _resolve_kind(kind)
+    if kind == "scheduler":
+        from repro.scheduling.registry import SCHEDULERS
+
+        info = SCHEDULERS.get(name)
+        if info is None:
+            raise KeyError(
+                f"unknown scheduler {name!r}; registered: {sorted(SCHEDULERS)}"
+            )
+        return info.factory(**params)
+    if kind == "scenario":
+        from repro.scenarios.base import ScenarioError
+        from repro.scenarios.library import _REGISTRY
+
+        factory = _REGISTRY.get(name)
+        if factory is None:
+            raise ScenarioError(
+                f"unknown scenario {name!r}; available: {sorted(_REGISTRY)}"
+            )
+        return factory(**params)
+    from repro.workflow.costs import ERROR_MODELS
+
+    factory = ERROR_MODELS.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown error model {name!r}; available: {sorted(ERROR_MODELS)}"
+        )
+    magnitude = params.pop("magnitude", None)
+    seed = params.pop("seed", 0)
+    if magnitude is None:
+        return factory(seed=seed, **params)
+    return factory(magnitude, seed=seed, **params)
+
+
+def describe(kind: str, name: str) -> Dict[str, object]:
+    """Metadata of one registered component, as the CLI renders it.
+
+    Always contains ``name`` and ``summary``; schedulers add their default
+    execution ``kind`` (static/adaptive/dynamic) and constructor
+    ``params``, scenarios add their factory ``defaults``.
+    """
+    kind = _resolve_kind(kind)
+    if kind == "scheduler":
+        from repro.scheduling.registry import SCHEDULERS
+
+        info = SCHEDULERS.get(name)
+        if info is None:
+            raise KeyError(
+                f"unknown scheduler {name!r}; registered: {sorted(SCHEDULERS)}"
+            )
+        return {
+            "name": name,
+            "kind": info.kind,
+            "summary": info.summary,
+            "params": info.parameters(),
+        }
+    if kind == "scenario":
+        from repro.scenarios.base import ScenarioError
+        from repro.scenarios.library import _REGISTRY, _SUMMARIES
+
+        factory = _REGISTRY.get(name)
+        if factory is None:
+            raise ScenarioError(
+                f"unknown scenario {name!r}; available: {sorted(_REGISTRY)}"
+            )
+        return {
+            "name": name,
+            "summary": _SUMMARIES.get(name, ""),
+            "defaults": factory().params(),
+        }
+    from repro.workflow.costs import ERROR_MODELS, _ERROR_MODEL_SUMMARIES
+
+    if name not in ERROR_MODELS:
+        raise KeyError(
+            f"unknown error model {name!r}; available: {sorted(ERROR_MODELS)}"
+        )
+    return {
+        "name": name,
+        "summary": _ERROR_MODEL_SUMMARIES.get(name, "(no summary registered)"),
+    }

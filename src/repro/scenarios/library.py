@@ -273,19 +273,21 @@ def register_scenario(name: str, summary: str = ""):
     return decorator
 
 
+# Thin wrappers over the uniform registry facade (:mod:`repro.registry`),
+# kept for compatibility with existing callers.
+
+
 def make_scenario(name: str, **params) -> Scenario:
     """Instantiate a registered scenario, passing ``params`` to its factory."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise ScenarioError(
-            f"unknown scenario {name!r}; available: {sorted(_REGISTRY)}"
-        ) from None
-    return factory(**params)
+    from repro import registry
+
+    return registry.make("scenario", name, **params)
 
 
 def available_scenarios() -> List[str]:
-    return sorted(_REGISTRY)
+    from repro import registry
+
+    return registry.available("scenario")
 
 
 def scenario_summary(name: str) -> str:

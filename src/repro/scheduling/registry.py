@@ -108,43 +108,43 @@ def register_scheduler(name: str, *, kind: str, summary: str = ""):
     return decorator
 
 
+# The helpers below are thin wrappers over the uniform registry facade
+# (:mod:`repro.registry`), kept for compatibility with existing callers.
+
+
 def make_scheduler(name: str, **params):
     """Instantiate a registered strategy, passing ``params`` to its factory."""
-    info = SCHEDULERS.get(name)
-    if info is None:
-        raise KeyError(
-            f"unknown scheduler {name!r}; registered: {available_schedulers()}"
-        )
-    return info.factory(**params)
+    from repro import registry
+
+    return registry.make("scheduler", name, **params)
 
 
 def available_schedulers() -> List[str]:
     """Registered strategy names, sorted."""
-    return sorted(SCHEDULERS)
+    from repro import registry
+
+    return registry.available("scheduler")
 
 
 def scheduler_kind(name: str) -> str:
     """The default execution mode of a registered strategy."""
-    return _info(name).kind
+    from repro import registry
+
+    return registry.describe("scheduler", name)["kind"]
 
 
 def scheduler_summary(name: str) -> str:
     """One-line description of a registered strategy."""
-    return _info(name).summary
+    from repro import registry
+
+    return registry.describe("scheduler", name)["summary"]
 
 
 def scheduler_parameters(name: str) -> Dict[str, object]:
     """Constructor parameters (name -> default) of a registered strategy."""
-    return _info(name).parameters()
+    from repro import registry
 
-
-def _info(name: str) -> StrategyInfo:
-    info = SCHEDULERS.get(name)
-    if info is None:
-        raise KeyError(
-            f"unknown scheduler {name!r}; registered: {available_schedulers()}"
-        )
-    return info
+    return registry.describe("scheduler", name)["params"]
 
 
 # ----------------------------------------------------------------------

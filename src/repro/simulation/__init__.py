@@ -1,9 +1,9 @@
 """Discrete-event simulation substrate.
 
 The paper runs its evaluation on SimJava, a Java event-driven simulation
-framework.  This package is the Python substitute: a small discrete-event
-kernel (:mod:`~repro.simulation.engine`) plus grid executors built on it
-(:mod:`~repro.simulation.executor`):
+framework.  This package is the Python substitute: a single discrete-event
+kernel of typed events (:mod:`~repro.simulation.event_core`) plus grid
+executors built on it (:mod:`~repro.simulation.executor`):
 
 * :class:`~repro.simulation.executor.StaticScheduleExecutor` — plays a
   planner-produced schedule forward in time, modelling job execution and
@@ -21,7 +21,13 @@ Execution produces an :class:`~repro.simulation.trace.ExecutionTrace`
 recording actual start/finish times, file transfers and the makespan.
 """
 
-from repro.simulation.engine import SimulationEngine, SimulationError
+from repro.simulation.event_core import (
+    Event,
+    EventCore,
+    EventKind,
+    SimulationEngine,
+    SimulationError,
+)
 from repro.simulation.executor import JustInTimeExecutor, StaticScheduleExecutor
 from repro.simulation.shared_grid import (
     SharedGridExecutor,
@@ -31,6 +37,9 @@ from repro.simulation.shared_grid import (
 from repro.simulation.trace import ExecutionTrace, TransferRecord, render_gantt
 
 __all__ = [
+    "Event",
+    "EventCore",
+    "EventKind",
     "SimulationEngine",
     "SimulationError",
     "StaticScheduleExecutor",

@@ -77,7 +77,7 @@ from repro.core.events import EventBus, ResourcePoolChangeEvent
 from repro.resources.pool import ResourcePool
 from repro.scheduling.base import Schedule, TIME_EPS
 from repro.scheduling.minmin import MinMinScheduler
-from repro.simulation.engine import ScheduledEvent, SimulationEngine, SimulationError
+from repro.simulation.event_core import Event, EventCore, EventKind, SimulationError
 from repro.simulation.trace import ExecutionTrace, TransferRecord
 from repro.workflow.costs import CostModel
 from repro.workflow.dag import Workflow
@@ -180,9 +180,9 @@ class StaticScheduleExecutor:
             estimated=self.estimated_costs.computation_cost(job, rid),
         )
 
-    def run(self, *, engine: Optional[SimulationEngine] = None) -> ExecutionTrace:
+    def run(self, *, core: Optional[EventCore] = None) -> ExecutionTrace:
         """Simulate the execution and return its trace."""
-        engine = engine or SimulationEngine()
+        engine = core or EventCore()
         trace = ExecutionTrace(
             workflow_name=self.workflow.name, strategy=self.strategy_name
         )
@@ -236,7 +236,7 @@ class StaticScheduleExecutor:
         #: actual (resource, finish) of completed jobs, for failover re-fetches
         completed_on: Dict[str, Tuple[str, float]] = {}
         #: running job -> (finish event, resource, start)
-        in_flight: Dict[str, Tuple[ScheduledEvent, str, float]] = {}
+        in_flight: Dict[str, Tuple[Event, str, float]] = {}
         #: jobs needing just-in-time failover, in strand/kill order
         failover_queue: List[str] = []
         departed: Set[str] = set()
@@ -260,9 +260,10 @@ class StaticScheduleExecutor:
             finish = start + duration
             started.add(job)
             resource_free[rid] = finish
-            event = engine.schedule_at(
+            event = engine.post(
                 finish,
                 lambda j=job, r=rid, s=start, f=finish: on_finish(j, r, s, f),
+                kind=EventKind.COMPLETION,
                 label=f"finish:{job}",
             )
             in_flight[job] = (event, rid, start)
@@ -273,9 +274,10 @@ class StaticScheduleExecutor:
             finish = start + duration
             dup_started.add(index)
             resource_free[rid] = finish
-            event = engine.schedule_at(
+            event = engine.post(
                 finish,
                 lambda i=index, r=rid, s=start, f=finish: on_dup_finish(i, r, s, f),
+                kind=EventKind.COMPLETION,
                 label=f"finish-dup:{job}",
             )
             in_flight[("dup", index)] = (event, rid, start)
@@ -371,7 +373,12 @@ class StaticScheduleExecutor:
                                 return
                             launch(j, r, max(at, resource_free.get(r, 0.0)))
 
-                        engine.schedule_at(start, arrive, label=f"failover:{job}")
+                        engine.post(
+                            start,
+                            arrive,
+                            kind=EventKind.TRANSFER,
+                            label=f"failover:{job}",
+                        )
                     progress = True
 
         def ship_to_consumer_dups(producer: str, src: str, finish: float) -> None:
@@ -393,8 +400,11 @@ class StaticScheduleExecutor:
                 if current is None or arrival < current - TIME_EPS:
                     dup_arrivals[key] = arrival
                     if arrival > engine.now + TIME_EPS:
-                        engine.schedule_at(
-                            arrival, try_dispatch, label=f"arrival:{producer}->dup"
+                        engine.post(
+                            arrival,
+                            try_dispatch,
+                            kind=EventKind.TRANSFER,
+                            label=f"arrival:{producer}->dup",
                         )
 
         def on_finish(job: str, rid: str, start: float, finish: float) -> None:
@@ -421,7 +431,12 @@ class StaticScheduleExecutor:
                     trace.record_transfer(
                         TransferRecord(job, succ, rid, target, finish, arrival)
                     )
-                    engine.schedule_at(arrival, try_dispatch, label=f"arrival:{job}->{succ}")
+                    engine.post(
+                        arrival,
+                        try_dispatch,
+                        kind=EventKind.TRANSFER,
+                        label=f"arrival:{job}->{succ}",
+                    )
             ship_to_consumer_dups(job, rid, finish)
             try_dispatch()
 
@@ -445,8 +460,11 @@ class StaticScheduleExecutor:
                 if current is None or arrival < current - TIME_EPS:
                     arrivals[(job, succ)] = arrival
                     if arrival > engine.now + TIME_EPS:
-                        engine.schedule_at(
-                            arrival, try_dispatch, label=f"arrival:dup-{job}->{succ}"
+                        engine.post(
+                            arrival,
+                            try_dispatch,
+                            kind=EventKind.TRANSFER,
+                            label=f"arrival:dup-{job}->{succ}",
                         )
             ship_to_consumer_dups(job, rid, finish)
             try_dispatch()
@@ -511,16 +529,22 @@ class StaticScheduleExecutor:
         # pool-change events: joins unblock dispatch, departures kill/strand
         for event in self.pool.events():
             if event.removed:
-                engine.schedule_at(
+                engine.post(
                     event.time,
                     lambda removed=event.removed: on_departure(removed),
+                    kind=EventKind.POOL_CHANGE,
                     priority=_DEPARTURE_PRIORITY,
                     label="pool-departure",
                 )
             if event.added:
-                engine.schedule_at(event.time, try_dispatch, label="pool-change")
+                engine.post(
+                    event.time,
+                    try_dispatch,
+                    kind=EventKind.POOL_CHANGE,
+                    label="pool-change",
+                )
 
-        engine.schedule_at(engine.now, try_dispatch, label="bootstrap")
+        engine.post(engine.now, try_dispatch, label="bootstrap")
         engine.run()
 
         if len(finished) != self.workflow.num_jobs:
@@ -600,8 +624,8 @@ class JustInTimeExecutor:
             estimated=self.costs.computation_cost(job, rid),
         )
 
-    def run(self, *, engine: Optional[SimulationEngine] = None) -> ExecutionTrace:
-        engine = engine or SimulationEngine()
+    def run(self, *, core: Optional[EventCore] = None) -> ExecutionTrace:
+        engine = core or EventCore()
         trace = ExecutionTrace(
             workflow_name=self.workflow.name, strategy=self.strategy_name
         )
@@ -611,7 +635,7 @@ class JustInTimeExecutor:
         data_location: Dict[str, str] = {}
         resource_free: Dict[str, float] = {}
         #: running job -> (finish event, resource, start)
-        in_flight: Dict[str, Tuple[ScheduledEvent, str, float]] = {}
+        in_flight: Dict[str, Tuple[Event, str, float]] = {}
 
         def ready_jobs() -> List[str]:
             out = []
@@ -678,9 +702,10 @@ class JustInTimeExecutor:
                                 now + transfer,
                             )
                         )
-                event = engine.schedule_at(
+                event = engine.post(
                     finish,
                     lambda a=planned, s=start, f=finish: on_finish(a.job_id, a.resource_id, s, f),
+                    kind=EventKind.COMPLETION,
                     label=f"finish:{planned.job_id}",
                 )
                 in_flight[planned.job_id] = (event, planned.resource_id, start)
@@ -718,14 +743,15 @@ class JustInTimeExecutor:
 
         for event in self.pool.events():
             if event.removed:
-                engine.schedule_at(
+                engine.post(
                     event.time,
                     lambda removed=event.removed: on_departure(removed),
+                    kind=EventKind.POOL_CHANGE,
                     priority=_DEPARTURE_PRIORITY,
                     label="pool-departure",
                 )
 
-        engine.schedule_at(engine.now, dispatch, label="bootstrap")
+        engine.post(engine.now, dispatch, label="bootstrap")
         engine.run()
 
         if len(finished) != self.workflow.num_jobs:

@@ -9,9 +9,10 @@ the *same* resource timelines.
 
 Execution is analytic, like the paper's treatment of static and adaptive
 strategies under accurate estimates: an adopted booking *is* the execution
-(jobs start and finish exactly as booked), so the executor needs no
-discrete-event kernel — the scenario events are the only sources of
-surprise, and the planner absorbs them by replanning.  Departures kill
+(jobs start and finish exactly as booked), so the only events on the
+shared :class:`~repro.simulation.event_core.EventCore` are the sources of
+surprise — grid events at priority 0, same-instant arrivals behind them —
+and the planner absorbs each by replanning.  Departures kill
 running jobs across all tenants (wasted work is attributed to the tenant
 that lost it) and force the affected workflows to re-book on survivors.
 
@@ -50,6 +51,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 from repro.resources.pool import PoolEvent, ResourcePool
 from repro.scheduling.aheft import AHEFTScheduler
 from repro.scheduling.base import Assignment, ResourceTimeline, Schedule, TIME_EPS
+from repro.simulation.event_core import EventCore, EventKind
 from repro.workflow.costs import ErrorModel, PerturbedCostModel
 from repro.workload.streams import WorkflowArrival
 
@@ -57,6 +59,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.adaptive import ReschedulingDecision
 
 __all__ = ["SharedGridExecutor", "SharedGridResult", "WorkflowOutcome"]
+
+#: Event priority of workflow arrivals: after the same-instant grid event,
+#: so newcomers are admitted against the updated residual capacity.
+_ARRIVAL_PRIORITY = 1
 
 
 @dataclass(frozen=True)
@@ -185,6 +191,14 @@ class SharedGridExecutor:
         epsilon: float = 1e-9,
         error_model: Optional[ErrorModel] = None,
     ) -> None:
+        from repro import _deprecation
+
+        _deprecation.warn_once(
+            "SharedGridExecutor",
+            "constructing SharedGridExecutor directly is deprecated; call "
+            "repro.run(arrivals, pool, mode='multi') instead (bit-identical "
+            "result via .raw)",
+        )
         self.arrivals = sorted(arrivals, key=lambda a: (a.time, a.seq, a.key))
         self.pool = pool
         self.perf_profile = perf_profile
@@ -221,11 +235,26 @@ class SharedGridExecutor:
         for arrival in self.arrivals:
             arrivals_at.setdefault(arrival.time, []).append(arrival)
 
-        for clock in sorted(set(triggers) | set(arrivals_at)):
-            if clock in triggers:
-                planner.handle_event(clock, triggers[clock])
-            for arrival in arrivals_at.get(clock, ()):
-                planner.admit(arrival, clock)
+        # One instant on the shared event core: the grid event first
+        # (priority 0 — incumbents re-book around the change), then the
+        # same-instant arrivals in seq order (priority 1, insertion order).
+        core = EventCore()
+        for clock, trigger in triggers.items():
+            core.post(
+                clock,
+                lambda c=clock, e=trigger: planner.handle_event(c, e),
+                kind=EventKind.POOL_CHANGE if trigger is not None else EventKind.PERF_CHANGE,
+                label="grid-event",
+            )
+        for arrival in self.arrivals:
+            core.post(
+                arrival.time,
+                lambda a=arrival: planner.admit(a, core.now),
+                kind=EventKind.ARRIVAL,
+                priority=_ARRIVAL_PRIORITY,
+                label=f"arrival:{arrival.key}",
+            )
+        core.run()
 
         workflows = planner.finalize()
         actuals: Dict[str, Schedule] = {}

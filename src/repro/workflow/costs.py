@@ -852,31 +852,30 @@ _ERROR_MODEL_SUMMARIES: Dict[str, str] = {
 }
 
 
+# Thin wrappers over the uniform registry facade (:mod:`repro.registry`),
+# kept for compatibility with existing callers.
+
+
 def available_error_models() -> List[str]:
     """Registered error-family names, sorted."""
-    return sorted(ERROR_MODELS)
+    from repro import registry
+
+    return registry.available("error_model")
 
 
 def error_model_summary(name: str) -> str:
     """One-line description of a registered error family."""
-    if name not in ERROR_MODELS:
-        raise KeyError(
-            f"unknown error model {name!r}; available: {available_error_models()}"
-        )
-    return _ERROR_MODEL_SUMMARIES.get(name, "(no summary registered)")
+    from repro import registry
+
+    return registry.describe("error_model", name)["summary"]
 
 
 def make_error_model(name: str, magnitude: Optional[float] = None, *, seed: int = 0,
                      **kwargs) -> ErrorModel:
     """Instantiate a registered error family at one error magnitude."""
-    if name not in ERROR_MODELS:
-        raise KeyError(
-            f"unknown error model {name!r}; available: {available_error_models()}"
-        )
-    factory = ERROR_MODELS[name]
-    if magnitude is None:
-        return factory(seed=seed, **kwargs)
-    return factory(magnitude, seed=seed, **kwargs)
+    from repro import registry
+
+    return registry.make("error_model", name, magnitude=magnitude, seed=seed, **kwargs)
 
 
 class PerturbedCostModel(CostModel):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulation.engine import SimulationEngine, SimulationError
+from repro.simulation.event_core import SimulationEngine, SimulationError
 
 
 class TestScheduling:

@@ -155,7 +155,7 @@ class TestDepartureSemantics:
     def test_static_fail_policy_raises(
         self, chain_workflow, chain_costs, departing_pool
     ):
-        from repro.simulation.engine import SimulationError
+        from repro.simulation.event_core import SimulationError
 
         schedule = heft_schedule(chain_workflow, chain_costs, ["r1", "r2"])
         executor = StaticScheduleExecutor(
