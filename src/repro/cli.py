@@ -336,6 +336,12 @@ def _cmd_multi(args: argparse.Namespace) -> int:
             resolve_strategy(name, None, require="reschedule")
         except (KeyError, ValueError) as error:
             raise CliError(str(error).strip('"')) from None
+    if args.stretch_limit < 1.0:
+        raise CliError("--stretch-limit must be at least 1.0")
+    if not 0.0 < args.saturation_threshold <= 1.0:
+        raise CliError("--saturation-threshold must be in (0, 1]")
+    if args.max_deferrals < 0:
+        raise CliError("--max-deferrals must be non-negative")
     base = MultiTenantConfig(
         resources=resources,
         scenario_params=tuple(sorted(scenario_params.items())),
@@ -346,6 +352,12 @@ def _cmd_multi(args: argparse.Namespace) -> int:
         max_arrivals=max_arrivals,
         horizon=args.horizon,
         seed=args.seed,
+        admission=args.admission,
+        saturation_threshold=args.saturation_threshold,
+        stretch_limit=args.stretch_limit,
+        max_deferrals=args.max_deferrals,
+        deadline_factor=args.deadline_factor,
+        slo_stretch=args.slo_stretch,
     )
     points = sweep_multi_workflow(
         arrival_rates=[args.arrival_rate],
@@ -371,6 +383,7 @@ def _cmd_multi(args: argparse.Namespace) -> int:
         "policies": policies,
         "strategies": strategies,
         "scenario_params": scenario_params,
+        "admission": args.admission,
         "points": [point.as_dict() for point in points],
         "lines": table.splitlines(),
     }
@@ -743,12 +756,49 @@ def _build_parser() -> argparse.ArgumentParser:
     p_multi.add_argument(
         "--policies",
         default="fifo",
-        help="comma-separated interleave policies (fifo, fair_share, rank_priority)",
+        help="comma-separated interleave policies "
+        "(fifo, fair_share, rank_priority, credit_drf)",
     )
     p_multi.add_argument(
         "--strategies",
         default="aheft",
         help=_strategy_help(adaptive_only=True),
+    )
+    p_multi.add_argument(
+        "--admission",
+        action="store_true",
+        help="put the admission controller in front of the planner "
+        "(defer/reject arrivals once the grid saturates)",
+    )
+    p_multi.add_argument(
+        "--stretch-limit",
+        type=float,
+        default=4.0,
+        help="maximum acceptable predicted stretch before deferral",
+    )
+    p_multi.add_argument(
+        "--saturation-threshold",
+        type=float,
+        default=0.85,
+        help="booked fraction of the lookahead window before deferral",
+    )
+    p_multi.add_argument(
+        "--max-deferrals",
+        type=int,
+        default=4,
+        help="failed admission offers before an arrival is rejected",
+    )
+    p_multi.add_argument(
+        "--deadline-factor",
+        type=float,
+        default=None,
+        help="per-workflow deadline = arrival + factor * dedicated span",
+    )
+    p_multi.add_argument(
+        "--slo-stretch",
+        type=float,
+        default=None,
+        help="per-workflow stretch SLO target (violations feed credit scores)",
     )
     p_multi.add_argument("--name", default="multi_tenant", help="ledger name")
     p_multi.add_argument("--out", help="ledger path (default benchmarks/results/<name>.json)")

@@ -1,0 +1,244 @@
+"""Admission control in front of the multi-tenant planner.
+
+The shared grid (:mod:`repro.simulation.shared_grid`) admits every arrival
+unconditionally: under a flash crowd the planner keeps booking ever-later
+slots and the stretch of late arrivals grows without bound.  The
+:class:`AdmissionController` sits in front of
+:meth:`~repro.core.multi_tenant.MultiTenantPlanner.admit` and turns that
+regime into a measured one.  For each arrival it plans tentatively
+(without registering) and gates on two predictions:
+
+* **predicted saturation** — the fraction of the grid's capacity over the
+  lookahead window ``[clock, clock + dedicated_span]`` already booked by
+  admitted workflows.  Saturation above ``saturation_threshold`` means the
+  newcomer would mostly queue, not run;
+* **predicted stretch** — the tentative plan's completion relative to the
+  span the workflow would need alone (``(makespan - arrival.time) /
+  dedicated_span``).  A value above ``stretch_limit`` means the grid
+  cannot give the workflow acceptable service *right now* even if a slot
+  exists.
+
+An arrival failing either gate is **deferred** — the executor re-offers
+it when capacity is predicted to free up (the earliest incumbent
+completion, or the next pool membership change) — and after
+``max_deferrals`` unsuccessful offers it is **rejected** outright.
+Every decision is recorded as an :class:`AdmissionDecision`, so
+rejection/deferral rates and the observed saturation are first-class run
+metrics rather than post-hoc reconstructions.
+
+The controller only *reads* planner state (via
+:meth:`~repro.core.multi_tenant.MultiTenantPlanner.plan_arrival` and
+:meth:`~repro.core.multi_tenant.MultiTenantPlanner.busy_view`); admitting
+remains the planner's job, so disabling admission control leaves the
+planner's behaviour bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.scheduling.base import TIME_EPS
+from repro.workload.streams import WorkflowArrival
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionDecision",
+    "AdmissionController",
+    "predicted_saturation",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Gates of the admission controller.
+
+    Parameters
+    ----------
+    saturation_threshold:
+        Booked fraction of the lookahead window above which the grid
+        counts as saturated (0.85 = arrivals are deferred once >85% of
+        the near-term capacity is spoken for).
+    stretch_limit:
+        Maximum acceptable predicted stretch of the tentative plan.
+    max_deferrals:
+        Offers an arrival may fail before it is rejected outright.
+    min_window:
+        Floor of the saturation lookahead window, guarding against
+        degenerate (near-zero) dedicated spans.
+    """
+
+    saturation_threshold: float = 0.85
+    stretch_limit: float = 4.0
+    max_deferrals: int = 4
+    min_window: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.saturation_threshold <= 1.0:
+            raise ValueError("saturation_threshold must be in (0, 1]")
+        if self.stretch_limit < 1.0:
+            raise ValueError("stretch_limit must be at least 1.0")
+        if self.max_deferrals < 0:
+            raise ValueError("max_deferrals must be non-negative")
+        if self.min_window <= 0.0:
+            raise ValueError("min_window must be positive")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admit/defer/reject verdict, with the evidence it rested on."""
+
+    time: float
+    key: str
+    tenant: str
+    action: str  # "admit" | "defer" | "reject"
+    saturation: float
+    predicted_stretch: float
+    #: failed offers *before* this decision (0 on the first offer)
+    deferrals: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "key": self.key,
+            "tenant": self.tenant,
+            "action": self.action,
+            "saturation": self.saturation,
+            "predicted_stretch": self.predicted_stretch,
+            "deferrals": self.deferrals,
+        }
+
+
+def _merge_spans(spans: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    merged: List[Tuple[float, float]] = []
+    for start, finish in sorted(spans):
+        if merged and start <= merged[-1][1] + TIME_EPS:
+            last_start, last_finish = merged[-1]
+            merged[-1] = (last_start, max(last_finish, finish))
+        else:
+            merged.append((start, finish))
+    return merged
+
+
+def predicted_saturation(
+    busy: Dict[str, Sequence[Tuple[float, float]]],
+    resource_count: int,
+    clock: float,
+    window: float,
+) -> float:
+    """Booked fraction of ``resource_count`` resources over ``[clock, clock+window]``.
+
+    ``busy`` is the planner's busy view (bookings per resource id);
+    same-resource spans are merged before clipping so perf-repair
+    transients cannot count a slot twice.  Returns a value in ``[0, 1]``
+    (0.0 for an empty grid or a degenerate window).
+    """
+    if resource_count <= 0 or window <= TIME_EPS:
+        return 0.0
+    horizon = clock + window
+    booked = 0.0
+    for spans in busy.values():
+        for start, finish in _merge_spans(spans):
+            booked += max(0.0, min(finish, horizon) - max(start, clock))
+    return min(1.0, booked / (resource_count * window))
+
+
+class AdmissionController:
+    """Stateful admit/defer/reject gate over one shared-grid run."""
+
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
+        self.config = config or AdmissionConfig()
+        self.decisions: List[AdmissionDecision] = []
+        self._deferrals: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        planner,
+        arrival: WorkflowArrival,
+        clock: float,
+        *,
+        can_defer: bool = True,
+    ):
+        """Offer ``arrival`` to the grid at ``clock``.
+
+        Returns ``(action, planned)`` where ``action`` is ``"admit"``,
+        ``"defer"`` or ``"reject"`` and ``planned`` is the tentative
+        :class:`~repro.core.multi_tenant.PlannedArrival` (``None`` when
+        the pool was empty).  On ``"admit"`` the caller registers the
+        plan with the planner; on ``"defer"`` it re-offers later.
+        ``can_defer=False`` (no retry point exists) escalates a deferral
+        to a rejection.
+        """
+        config = self.config
+        prior = self._deferrals.get(arrival.key, 0)
+        resources = planner.pool.available_at(clock)
+        if not resources:
+            # momentarily empty pool: nothing to plan against, so the
+            # saturation evidence is definitional (everything is booked)
+            action = self._throttle_action(arrival.key, prior, can_defer)
+            self._record(arrival, clock, action, 1.0, float("inf"), prior)
+            return action, None
+        planned = planner.plan_arrival(arrival, clock)
+        window = max(planned.dedicated_span, config.min_window)
+        saturation = predicted_saturation(
+            planner.busy_view(None, clock), len(resources), clock, window
+        )
+        predicted_stretch = (planned.schedule.makespan() - arrival.time) / max(
+            planned.dedicated_span, TIME_EPS
+        )
+        overloaded = (
+            saturation > config.saturation_threshold
+            or predicted_stretch > config.stretch_limit
+        )
+        if not overloaded:
+            action = "admit"
+            self._deferrals.pop(arrival.key, None)
+        else:
+            action = self._throttle_action(arrival.key, prior, can_defer)
+        self._record(arrival, clock, action, saturation, predicted_stretch, prior)
+        return action, planned
+
+    def _throttle_action(self, key: str, prior: int, can_defer: bool) -> str:
+        if not can_defer or prior >= self.config.max_deferrals:
+            self._deferrals.pop(key, None)
+            return "reject"
+        self._deferrals[key] = prior + 1
+        return "defer"
+
+    def _record(
+        self,
+        arrival: WorkflowArrival,
+        clock: float,
+        action: str,
+        saturation: float,
+        predicted_stretch: float,
+        prior: int,
+    ) -> None:
+        self.decisions.append(
+            AdmissionDecision(
+                time=clock,
+                key=arrival.key,
+                tenant=arrival.tenant,
+                action=action,
+                saturation=saturation,
+                predicted_stretch=predicted_stretch,
+                deferrals=prior,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # run-level summaries
+    # ------------------------------------------------------------------
+    @property
+    def deferral_count(self) -> int:
+        """Total failed offers (an arrival deferred twice counts twice)."""
+        return sum(1 for d in self.decisions if d.action == "defer")
+
+    @property
+    def rejected_keys(self) -> List[str]:
+        return [d.key for d in self.decisions if d.action == "reject"]
+
+    @property
+    def rejected_count(self) -> int:
+        return len(self.rejected_keys)

@@ -1,0 +1,202 @@
+"""Per-tenant credit scores for overload-safe multi-tenancy.
+
+A *credit score* in ``(0, 1]`` summarises how well a tenant's workflows
+have been meeting their service targets on the shared grid.  The score is
+recomputed online, one update per completed workflow, from two signals:
+
+* **SLO / deadline violations** — a completion that missed its deadline
+  (``TenantSpec.deadline_factor``) or blew its stretch SLO
+  (``TenantSpec.slo_stretch``) multiplies the completion's behaviour score
+  by ``violation_penalty``;
+* **tail-stretch ratio** — the ``tail_quantile`` of the tenant's recent
+  stretches (a sliding window of ``tail_window`` completions) relative to
+  ``stretch_target``: a tenant whose tail stretch is at or below the
+  target scores 1.0, a tenant whose tail runs at twice the target scores
+  0.5, and so on.
+
+Scores feed the planner's ``credit_drf`` interleave through
+**credit-coupled weights** ``w_t = 0.5 + 0.5 * credit_t``: a tenant can
+lose at most half its fair-share entitlement, never starve.  The
+interpretation is reputational, as in credit-scheduling systems: a tenant
+whose stream keeps violating its own targets is the one saturating the
+grid, and damping its weight sheds exactly that load while the compliant
+tenants keep their service.  Because the grid books a single resource
+dimension (processor time), weighted DRF degenerates to weighted fair
+share over consumed time — the dominant share *is* the time share.
+
+Every update is a pure fold over the completion stream (exponential
+memory ``memory``, clamped to ``[floor, 1.0]``), so ledgers are
+deterministic and replayable; nothing here reads a clock or draws
+randomness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Optional
+
+import numpy as np
+
+__all__ = ["CreditConfig", "CreditLedger"]
+
+
+@dataclass(frozen=True)
+class CreditConfig:
+    """Parameters of the online credit fold.
+
+    Parameters
+    ----------
+    initial:
+        Score of a tenant with no history (a fresh tenant is trusted).
+    floor:
+        Hard lower bound (> 0) — credit stays in ``[floor, 1.0]`` so the
+        coupled weight ``0.5 + 0.5 * credit`` never reaches the 0.5
+        asymptote and a tenant can always recover.
+    memory:
+        Exponential memory of the fold: the new credit is
+        ``memory * old + (1 - memory) * score``.
+    violation_penalty:
+        Multiplier applied to a completion's behaviour score when it
+        violated its deadline or stretch SLO.
+    stretch_target:
+        The tail stretch regarded as fully acceptable (score 1.0).
+    tail_window:
+        Number of recent completions the tail quantile is taken over.
+    tail_quantile:
+        Quantile in ``(0, 1]`` of the recent-stretch window used as the
+        tenant's tail stretch.
+    """
+
+    initial: float = 1.0
+    floor: float = 0.05
+    memory: float = 0.6
+    violation_penalty: float = 0.5
+    stretch_target: float = 2.0
+    tail_window: int = 16
+    tail_quantile: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.floor <= self.initial <= 1.0:
+            raise ValueError("need 0 < floor <= initial <= 1")
+        if not 0.0 <= self.memory < 1.0:
+            raise ValueError("memory must be in [0, 1)")
+        if not 0.0 < self.violation_penalty <= 1.0:
+            raise ValueError("violation_penalty must be in (0, 1]")
+        if self.stretch_target < 1.0:
+            raise ValueError("stretch_target must be at least 1.0")
+        if self.tail_window < 1:
+            raise ValueError("tail_window must be positive")
+        if not 0.0 < self.tail_quantile <= 1.0:
+            raise ValueError("tail_quantile must be in (0, 1]")
+
+
+@dataclass
+class _TenantState:
+    credit: float
+    stretches: Deque[float]
+    completions: int = 0
+    deadline_violations: int = 0
+    slo_violations: int = 0
+
+
+class CreditLedger:
+    """Online per-tenant credit scores in ``(0, 1]``; see the module docs."""
+
+    def __init__(
+        self,
+        config: Optional[CreditConfig] = None,
+        *,
+        tenants: Iterable[str] = (),
+    ) -> None:
+        self.config = config or CreditConfig()
+        self._tenants: Dict[str, _TenantState] = {}
+        for tenant in tenants:
+            self._state(tenant)
+
+    # ------------------------------------------------------------------
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(
+                credit=self.config.initial,
+                stretches=deque(maxlen=self.config.tail_window),
+            )
+            self._tenants[tenant] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def credit(self, tenant: str) -> float:
+        """The tenant's current credit (``initial`` without history)."""
+        state = self._tenants.get(tenant)
+        return self.config.initial if state is None else state.credit
+
+    def weight(self, tenant: str) -> float:
+        """The credit-coupled interleave weight ``0.5 + 0.5 * credit``."""
+        return 0.5 + 0.5 * self.credit(tenant)
+
+    def tail_stretch(self, tenant: str) -> float:
+        """The ``tail_quantile`` of the tenant's recent stretches (0.0 = none)."""
+        state = self._tenants.get(tenant)
+        if state is None or not state.stretches:
+            return 0.0
+        return float(
+            np.quantile(
+                np.asarray(state.stretches, dtype=float), self.config.tail_quantile
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # the online fold
+    # ------------------------------------------------------------------
+    def record_completion(
+        self,
+        tenant: str,
+        *,
+        stretch: float,
+        deadline_violated: bool = False,
+        slo_violated: bool = False,
+    ) -> float:
+        """Fold one completed workflow into the tenant's credit.
+
+        Returns the updated credit.  ``stretch`` is the achieved flow time
+        over the dedicated-grid span (>= 0; negative values are clamped).
+        """
+        config = self.config
+        state = self._state(tenant)
+        state.completions += 1
+        state.stretches.append(max(0.0, float(stretch)))
+        if deadline_violated:
+            state.deadline_violations += 1
+        if slo_violated:
+            state.slo_violations += 1
+        tail = self.tail_stretch(tenant)
+        score = 1.0 if tail <= config.stretch_target else config.stretch_target / tail
+        if deadline_violated or slo_violated:
+            score *= config.violation_penalty
+        credit = config.memory * state.credit + (1.0 - config.memory) * score
+        state.credit = min(1.0, max(config.floor, credit))
+        return state.credit
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly per-tenant view (credit, counts, tail stretch)."""
+        return {
+            tenant: {
+                "credit": state.credit,
+                "weight": self.weight(tenant),
+                "completions": state.completions,
+                "deadline_violations": state.deadline_violations,
+                "slo_violations": state.slo_violations,
+                "tail_stretch": self.tail_stretch(tenant),
+            }
+            for tenant, state in sorted(self._tenants.items())
+        }
+
+    def credits(self) -> Dict[str, float]:
+        """Current ``tenant -> credit`` mapping (tenants seen so far)."""
+        return {
+            tenant: state.credit for tenant, state in sorted(self._tenants.items())
+        }

@@ -28,7 +28,16 @@ workflows from many tenants, all booking slots on the *same* resources:
   ``rank_priority``
       descending remaining predicted span — the workflow with the longest
       remaining critical path books first (an SRPT-inverse interleave that
-      protects large workflows from starvation by small ones).
+      protects large workflows from starvation by small ones);
+  ``credit_drf``
+      ``fair_share`` with credit-coupled weights ``w_t = weight_t *
+      (0.5 + 0.5 * credit_t)``: each tenant's entitlement is damped by its
+      :class:`~repro.core.credit.CreditLedger` score, which decays as the
+      tenant's completions violate their deadlines/SLOs or run at high
+      tail stretch.  With one booked resource dimension (processor time)
+      this *is* weighted DRF — the dominant share is the time share — so
+      misbehaving tenants lose at most half their entitlement and the
+      grid degrades their service instead of everyone's.
 
 With a single tenant and a single workflow arriving at time 0, every
 policy degenerates to the paper's single-workflow loop and the planner is
@@ -53,15 +62,21 @@ from repro.core.adaptive import (
     describe_pool_event,
     repair_schedule,
 )
+from repro.core.credit import CreditLedger
 from repro.resources.pool import PoolEvent, ResourcePool
 from repro.scheduling.aheft import AHEFTScheduler
 from repro.scheduling.base import ExecutionState, Schedule, TIME_EPS
 from repro.workload.streams import WorkflowArrival
 
-__all__ = ["POLICIES", "ActiveWorkflow", "MultiTenantPlanner"]
+__all__ = [
+    "POLICIES",
+    "ActiveWorkflow",
+    "MultiTenantPlanner",
+    "PlannedArrival",
+]
 
 #: replanning-order policies of the shared grid
-POLICIES = ("fifo", "fair_share", "rank_priority")
+POLICIES = ("fifo", "fair_share", "rank_priority", "credit_drf")
 
 
 @dataclass
@@ -83,6 +98,10 @@ class ActiveWorkflow:
     wasted_work: float = 0.0
     killed_jobs: Set[str] = field(default_factory=set)
     completed_at: Optional[float] = None
+    #: absolute completion deadline (``arrival + deadline_factor * span``)
+    deadline: Optional[float] = None
+    #: per-workflow stretch SLO target (``TenantSpec.slo_stretch``)
+    slo_stretch: Optional[float] = None
 
     def finished_by(self, clock: float) -> bool:
         return clock >= self.schedule.makespan() - TIME_EPS
@@ -91,10 +110,42 @@ class ActiveWorkflow:
         return max(0.0, self.schedule.makespan() - clock)
 
     def consumed_time(self, clock: float) -> float:
-        """Processor time this workflow has consumed by ``clock``."""
+        """Processor time this workflow has consumed by ``clock``.
+
+        Counts duplicates too (``all_assignments``): duplication-based
+        strategies occupy real slots, and the fair-share/credit ledgers
+        must charge the tenant for them exactly as ``busy_view`` books
+        them against everyone else.
+        """
         return sum(
-            max(0.0, min(a.finish, clock) - a.start) for a in self.schedule
+            max(0.0, min(a.finish, clock) - a.start)
+            for a in self.schedule.all_assignments()
         )
+
+    def stretch_at(self, completed_at: float) -> float:
+        """Achieved stretch when completing at ``completed_at``."""
+        if self.dedicated_span <= TIME_EPS:
+            return 1.0
+        return (completed_at - self.arrival_time) / self.dedicated_span
+
+    def deadline_violated_at(self, completed_at: float) -> bool:
+        return self.deadline is not None and completed_at > self.deadline + TIME_EPS
+
+    def slo_violated_at(self, completed_at: float) -> bool:
+        return (
+            self.slo_stretch is not None
+            and self.stretch_at(completed_at) > self.slo_stretch + TIME_EPS
+        )
+
+
+@dataclass(frozen=True)
+class PlannedArrival:
+    """A tentative plan for an arrival, not yet registered with the planner."""
+
+    scheduler: AHEFTScheduler
+    schedule: Schedule
+    #: predicted span had the workflow run alone on the pool it arrived to
+    dedicated_span: float
 
 
 class MultiTenantPlanner:
@@ -124,6 +175,11 @@ class MultiTenantPlanner:
     accept_only_if_better, epsilon:
         The accept rule of paper Fig. 2 line 7, identical to
         :class:`~repro.core.adaptive.AdaptiveReschedulingLoop`.
+    credit_ledger:
+        Optional :class:`~repro.core.credit.CreditLedger` fed by every
+        completion (deadline/SLO violations and stretch).  The
+        ``credit_drf`` policy creates one automatically when omitted; the
+        other policies record into it when provided but never read it.
     """
 
     def __init__(
@@ -137,6 +193,7 @@ class MultiTenantPlanner:
         strategy: Optional[str] = None,
         accept_only_if_better: bool = True,
         epsilon: float = 1e-9,
+        credit_ledger: Optional[CreditLedger] = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {POLICIES}")
@@ -158,6 +215,9 @@ class MultiTenantPlanner:
         self.scheduler_factory = scheduler_factory
         self.accept_only_if_better = accept_only_if_better
         self.epsilon = float(epsilon)
+        if credit_ledger is None and policy == "credit_drf":
+            credit_ledger = CreditLedger()
+        self.credit = credit_ledger
         self._active: Dict[str, ActiveWorkflow] = {}
         self._perf_times: Set[float] = (
             set(perf_profile.change_times()) if perf_profile is not None else set()
@@ -187,16 +247,19 @@ class MultiTenantPlanner:
         Bookings that end at or before ``clock`` cannot constrain placement
         (the schedulers place new work at or after ``clock``) and are
         pruned here to keep the view small over long arrival streams.
+        Pruning tolerates ``TIME_EPS``, matching
+        :meth:`ActiveWorkflow.finished_by`: a workflow that counts as
+        finished never blocks residual capacity.
         """
         busy: Dict[str, List[Tuple[float, float]]] = {}
         for key, wf in self._active.items():
             if key == exclude_key:
                 continue
-            if wf.schedule.makespan() <= clock:
+            if wf.finished_by(clock):
                 continue
             # duplicates (duplication-based strategies) occupy slots too
             for assignment in wf.schedule.all_assignments():
-                if assignment.finish <= clock:
+                if assignment.finish - TIME_EPS <= clock:
                     continue
                 busy.setdefault(assignment.resource_id, []).append(
                     (assignment.start, assignment.finish)
@@ -204,7 +267,10 @@ class MultiTenantPlanner:
         return busy
 
     def _weight(self, tenant: str) -> float:
-        return float(self.tenant_weights.get(tenant, 1.0))
+        weight = float(self.tenant_weights.get(tenant, 1.0))
+        if self.policy == "credit_drf" and self.credit is not None:
+            weight *= self.credit.weight(tenant)
+        return weight
 
     def _served_by_tenant(self, clock: float) -> Dict[str, float]:
         served: Dict[str, float] = {}
@@ -218,7 +284,7 @@ class MultiTenantPlanner:
         """Order in which ``candidates`` replan at ``clock`` (policy-driven)."""
         if self.policy == "fifo":
             return sorted(candidates, key=lambda wf: wf.seq)
-        if self.policy == "fair_share":
+        if self.policy in ("fair_share", "credit_drf"):
             served = self._served_by_tenant(clock)
             return sorted(
                 candidates,
@@ -232,18 +298,21 @@ class MultiTenantPlanner:
     # ------------------------------------------------------------------
     # arrival
     # ------------------------------------------------------------------
-    def admit(self, arrival: WorkflowArrival, clock: float) -> ActiveWorkflow:
-        """Plan a newly arrived workflow against the residual capacity."""
-        if arrival.key in self._active:
-            raise ValueError(f"workflow {arrival.key!r} was already admitted")
+    def plan_arrival(self, arrival: WorkflowArrival, clock: float) -> PlannedArrival:
+        """Tentatively plan ``arrival`` against the residual capacity.
+
+        Pure with respect to planner state: nothing is registered, so
+        admission control can inspect the plan (predicted stretch,
+        dedicated span) and walk away.  Raises ``ValueError`` when the
+        pool is momentarily empty.
+        """
         resources = self.pool.available_at(clock)
         if not resources:
             raise ValueError(f"no resources available at arrival time {clock}")
         workflow = arrival.case.workflow
-        costs = arrival.case.costs
-        effective = costs
+        effective = arrival.case.costs
         if self.perf_profile is not None:
-            effective = self.perf_profile.scaled_costs(costs, clock)
+            effective = self.perf_profile.scaled_costs(effective, clock)
         scheduler = self.scheduler_factory()
         busy = self.busy_view(None, clock)
         has_busy = any(busy.values())
@@ -262,20 +331,44 @@ class MultiTenantPlanner:
             dedicated_span = dedicated.makespan() - clock
         else:
             dedicated_span = plan.makespan() - clock
+        return PlannedArrival(
+            scheduler=scheduler, schedule=plan, dedicated_span=dedicated_span
+        )
+
+    def register(
+        self, arrival: WorkflowArrival, clock: float, planned: PlannedArrival
+    ) -> ActiveWorkflow:
+        """Register a previously planned arrival as an active workflow."""
+        if arrival.key in self._active:
+            raise ValueError(f"workflow {arrival.key!r} was already admitted")
+        deadline_factor = getattr(arrival, "deadline_factor", None)
+        deadline = (
+            None
+            if deadline_factor is None
+            else arrival.time + deadline_factor * planned.dedicated_span
+        )
         active = ActiveWorkflow(
             key=arrival.key,
             tenant=arrival.tenant,
             seq=arrival.seq,
-            arrival_time=clock,
+            arrival_time=arrival.time,
             kind=arrival.kind,
-            workflow=workflow,
-            costs=costs,
-            scheduler=scheduler,
-            schedule=plan,
-            dedicated_span=dedicated_span,
+            workflow=arrival.case.workflow,
+            costs=arrival.case.costs,
+            scheduler=planned.scheduler,
+            schedule=planned.schedule,
+            dedicated_span=planned.dedicated_span,
+            deadline=deadline,
+            slo_stretch=getattr(arrival, "slo_stretch", None),
         )
         self._active[arrival.key] = active
         return active
+
+    def admit(self, arrival: WorkflowArrival, clock: float) -> ActiveWorkflow:
+        """Plan a newly arrived workflow against the residual capacity."""
+        if arrival.key in self._active:
+            raise ValueError(f"workflow {arrival.key!r} was already admitted")
+        return self.register(arrival, clock, self.plan_arrival(arrival, clock))
 
     # ------------------------------------------------------------------
     # grid events
@@ -298,7 +391,7 @@ class MultiTenantPlanner:
         ]
         for wf in self.replan_order(unfinished, clock):
             if wf.finished_by(clock):
-                wf.completed_at = wf.schedule.makespan()
+                self._mark_completed(wf)
                 continue
             state = ExecutionState.from_schedule(
                 wf.schedule, clock, jobs=wf.workflow.jobs
@@ -350,9 +443,29 @@ class MultiTenantPlanner:
                 wf.schedule = candidate
 
     # ------------------------------------------------------------------
+    def _mark_completed(self, wf: ActiveWorkflow) -> None:
+        """Complete ``wf`` at its predicted finish and feed the credit fold."""
+        completed_at = wf.schedule.makespan()
+        wf.completed_at = completed_at
+        if self.credit is not None:
+            self.credit.record_completion(
+                wf.tenant,
+                stretch=wf.stretch_at(completed_at),
+                deadline_violated=wf.deadline_violated_at(completed_at),
+                slo_violated=wf.slo_violated_at(completed_at),
+            )
+
     def finalize(self) -> List[ActiveWorkflow]:
-        """Mark every remaining workflow completed at its predicted finish."""
-        for wf in self._active.values():
-            if wf.completed_at is None:
-                wf.completed_at = wf.schedule.makespan()
+        """Mark every remaining workflow completed at its predicted finish.
+
+        Stragglers fold into the credit ledger in predicted-completion
+        order (ties by admission ``seq``), so end-of-run credit is the
+        same as if the run had kept observing completions chronologically.
+        """
+        pending = sorted(
+            (wf for wf in self._active.values() if wf.completed_at is None),
+            key=lambda wf: (wf.schedule.makespan(), wf.seq),
+        )
+        for wf in pending:
+            self._mark_completed(wf)
         return self.workflows()

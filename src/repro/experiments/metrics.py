@@ -21,6 +21,7 @@ from repro.workflow.dag import Workflow
 __all__ = [
     "average",
     "percentile",
+    "exceedance_rate",
     "improvement_rate",
     "jain_fairness_index",
     "makespan_statistics",
@@ -51,6 +52,18 @@ def percentile(values: Iterable[float], q: float) -> float:
     if not 0 <= q <= 100:
         raise ValueError("percentile q must be in [0, 100]")
     return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def exceedance_rate(values: Iterable[float], limit: float) -> float:
+    """Fraction of ``values`` strictly above ``limit`` (0.0 when empty).
+
+    The overload experiments report this over achieved stretches — the
+    share of workflows whose service blew the configured stretch limit.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v > limit) / len(values)
 
 
 def jain_fairness_index(values: Iterable[float]) -> float:

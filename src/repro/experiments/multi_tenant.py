@@ -14,7 +14,10 @@ outcomes to the metrics multi-tenant schedulers are judged by:
 * **fairness** — Jain's index over the tenants' mean stretches (1.0 =
   every tenant slowed down equally),
 * **wasted work / kills** — departure damage, attributed to the tenant
-  whose job was killed.
+  whose job was killed,
+* **overload management** — p99 stretch, rejection/deferral counts from
+  the admission controller (``admission=True``), deadline/SLO violation
+  counts and the final per-tenant credit scores.
 
 Everything derives from the case's seed, so results are deterministic and
 ledger-comparable across machines.
@@ -25,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.admission import AdmissionConfig
 from repro.experiments.metrics import average, jain_fairness_index, percentile
 from repro.facade import run as facade_run
 from repro.simulation.shared_grid import SharedGridResult
@@ -58,6 +62,14 @@ class MultiTenantConfig:
     max_arrivals: int = 6
     horizon: float = 8000.0
     seed: int = 0
+    #: overload management (off by default — bit-identical to before)
+    admission: bool = False
+    saturation_threshold: float = 0.85
+    stretch_limit: float = 4.0
+    max_deferrals: int = 4
+    #: optional service targets handed to every tenant
+    deadline_factor: Optional[float] = None
+    slo_stretch: Optional[float] = None
 
     def build_tenants(self) -> List[TenantSpec]:
         return default_tenants(
@@ -69,6 +81,17 @@ class MultiTenantConfig:
             ccr=self.ccr,
             beta=self.beta,
             omega_dag=self.omega_dag,
+            deadline_factor=self.deadline_factor,
+            slo_stretch=self.slo_stretch,
+        )
+
+    def build_admission(self) -> Optional[AdmissionConfig]:
+        if not self.admission:
+            return None
+        return AdmissionConfig(
+            saturation_threshold=self.saturation_threshold,
+            stretch_limit=self.stretch_limit,
+            max_deferrals=self.max_deferrals,
         )
 
     def build_stream(self) -> WorkloadStream:
@@ -105,6 +128,12 @@ class MultiTenantConfig:
             "max_arrivals": self.max_arrivals,
             "horizon": self.horizon,
             "seed": self.seed,
+            "admission": self.admission,
+            "saturation_threshold": self.saturation_threshold,
+            "stretch_limit": self.stretch_limit,
+            "max_deferrals": self.max_deferrals,
+            "deadline_factor": self.deadline_factor,
+            "slo_stretch": self.slo_stretch,
         }
 
 
@@ -120,6 +149,9 @@ class TenantMetrics:
     throughput: float
     wasted_work: float
     killed_jobs: int
+    deadline_violations: int = 0
+    slo_violations: int = 0
+    credit: float = 1.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -131,6 +163,9 @@ class TenantMetrics:
             "throughput": self.throughput,
             "wasted_work": self.wasted_work,
             "killed_jobs": self.killed_jobs,
+            "deadline_violations": self.deadline_violations,
+            "slo_violations": self.slo_violations,
+            "credit": self.credit,
         }
 
 
@@ -161,6 +196,33 @@ class MultiTenantCaseResult:
     @property
     def mean_stretch(self) -> float:
         return average(o.stretch for o in self.result.outcomes)
+
+    @property
+    def p99_stretch(self) -> float:
+        """Tail stretch — the overload-management headline metric."""
+        return percentile([o.stretch for o in self.result.outcomes], 99.0)
+
+    @property
+    def rejected(self) -> int:
+        return self.result.rejected_count
+
+    @property
+    def deferrals(self) -> int:
+        return self.result.deferral_count
+
+    @property
+    def rejection_rate(self) -> float:
+        """Rejected over offered (admitted + rejected) workflows."""
+        offered = self.workflows + self.rejected
+        return 0.0 if offered == 0 else self.rejected / offered
+
+    @property
+    def deadline_violations(self) -> int:
+        return self.result.deadline_violations()
+
+    @property
+    def slo_violations(self) -> int:
+        return self.result.slo_violations()
 
     @property
     def throughput(self) -> float:
@@ -194,10 +256,17 @@ class MultiTenantCaseResult:
             "mean_flow_time": self.mean_flow_time,
             "p95_flow_time": self.p95_flow_time,
             "mean_stretch": self.mean_stretch,
+            "p99_stretch": self.p99_stretch,
             "throughput": self.throughput,
             "fairness": self.fairness,
             "wasted_work": self.wasted_work,
             "killed_jobs": self.killed_jobs,
+            "rejected": self.rejected,
+            "deferrals": self.deferrals,
+            "rejection_rate": self.rejection_rate,
+            "deadline_violations": self.deadline_violations,
+            "slo_violations": self.slo_violations,
+            "credits": dict(sorted(self.result.credits.items())),
             "per_tenant": {
                 tenant: metrics.as_dict()
                 for tenant, metrics in sorted(self.per_tenant.items())
@@ -217,6 +286,9 @@ def _tenant_metrics(result: SharedGridResult, tenant: str) -> TenantMetrics:
         throughput=0.0 if span <= 0 else 1000.0 * len(outcomes) / span,
         wasted_work=sum(o.wasted_work for o in outcomes),
         killed_jobs=sum(o.killed_jobs for o in outcomes),
+        deadline_violations=sum(1 for o in outcomes if o.deadline_violated),
+        slo_violations=sum(1 for o in outcomes if o.slo_violated),
+        credit=result.credits.get(tenant, 1.0),
     )
 
 
@@ -234,6 +306,18 @@ def run_multi_tenant_case(
     specs = tenants if tenants is not None else config.build_tenants()
     stream = WorkloadStream(specs, seed=config.seed, horizon=config.horizon)
     scenario_run = config.build_scenario_run()
+    options: Dict[str, object] = {}
+    admission = config.build_admission()
+    if admission is not None:
+        options["admission"] = admission
+    if config.admission or config.deadline_factor is not None or (
+        config.slo_stretch is not None
+    ):
+        # overload runs always score tenant behaviour, whatever the policy
+        # (credit_drf brings its own ledger otherwise)
+        from repro.core.credit import CreditLedger
+
+        options["credit_ledger"] = CreditLedger()
     result = facade_run(
         stream,
         scenario_run.pool,
@@ -242,6 +326,7 @@ def run_multi_tenant_case(
         policy=config.policy,
         tenant_weights=stream.weights(),
         strategy=config.strategy,
+        **options,
     ).raw
     per_tenant = {
         tenant: _tenant_metrics(result, tenant) for tenant in result.tenants()

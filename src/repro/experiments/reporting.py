@@ -150,19 +150,27 @@ def render_multi_tenant_matrix(
     *,
     title: Optional[str] = None,
 ) -> str:
-    """One row per multi-tenant cell: flow/stretch/throughput/fairness."""
+    """One row per multi-tenant cell: flow/stretch/throughput/fairness.
+
+    The overload columns (``adm``/``p99 str``/``rej``/``defer``) show the
+    admission controller's effect; without it they read ``off``/tail/0/0.
+    """
     if not points:
         return "(no data)"
     headers = [
         "scenario",
         "policy",
         "strategy",
+        "adm",
         "tenants",
         "rate",
         "wfs",
         "mean flow",
         "p95 flow",
         "stretch",
+        "p99 str",
+        "rej",
+        "defer",
         "thru/1k",
         "fairness",
         "wasted",
@@ -174,12 +182,16 @@ def render_multi_tenant_matrix(
                 point.scenario,
                 point.policy,
                 point.strategy,
+                "on" if point.admission else "off",
                 point.tenants,
                 f"{point.arrival_rate:g}",
                 point.workflows,
                 point.mean_flow_time,
                 point.p95_flow_time,
                 f"{point.mean_stretch:.2f}",
+                f"{point.p99_stretch:.2f}",
+                point.rejected,
+                point.deferrals,
                 f"{point.throughput:.3f}",
                 f"{point.fairness:.3f}",
                 point.wasted_work,

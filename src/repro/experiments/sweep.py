@@ -52,6 +52,13 @@ class MultiWorkflowPoint:
     fairness: float
     wasted_work: float
     killed_jobs: int
+    #: overload-management columns (zeros when admission control is off)
+    p99_stretch: float = 0.0
+    rejected: int = 0
+    deferrals: int = 0
+    deadline_violations: int = 0
+    slo_violations: int = 0
+    admission: bool = False
     per_tenant: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -71,6 +78,12 @@ class MultiWorkflowPoint:
             "fairness": self.fairness,
             "wasted_work": self.wasted_work,
             "killed_jobs": self.killed_jobs,
+            "p99_stretch": self.p99_stretch,
+            "rejected": self.rejected,
+            "deferrals": self.deferrals,
+            "deadline_violations": self.deadline_violations,
+            "slo_violations": self.slo_violations,
+            "admission": self.admission,
             "per_tenant": self.per_tenant,
         }
 
@@ -376,6 +389,12 @@ def sweep_multi_workflow(
                                 fairness=outcome.fairness,
                                 wasted_work=outcome.wasted_work,
                                 killed_jobs=outcome.killed_jobs,
+                                p99_stretch=outcome.p99_stretch,
+                                rejected=outcome.rejected,
+                                deferrals=outcome.deferrals,
+                                deadline_violations=outcome.deadline_violations,
+                                slo_violations=outcome.slo_violations,
+                                admission=config.admission,
                                 per_tenant={
                                     tenant: metrics.as_dict()
                                     for tenant, metrics in sorted(

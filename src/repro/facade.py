@@ -28,7 +28,8 @@ ready-made object, ``scenario`` a name or a
 the pool and performance profile, so ``pool`` is then replaced by the
 ``resources`` initial size.  Remaining keyword ``options`` are forwarded
 verbatim to the underlying runner (``simulate=``, ``history=``,
-``accept_only_if_better=``, ``policy=``, ``tenant_weights=``, …).
+``accept_only_if_better=``, ``policy=``, ``tenant_weights=``,
+``admission=`` for overload control in multi mode, …).
 
 The returned :class:`RunResult` is a uniform view — ``schedule``,
 ``trace``, ``outcomes``, ``decisions``, ``metrics`` and the headline
@@ -128,6 +129,12 @@ class RunResult:
         }
         if self.mode == "multi":
             metrics["workflows"] = len(self.raw.outcomes)
+            if getattr(self.raw, "admission", None):
+                metrics["rejected_workflows"] = self.raw.rejected_count
+                metrics["deferred_offers"] = self.raw.deferral_count
+            credits = getattr(self.raw, "credits", None)
+            if credits:
+                metrics["credits"] = dict(credits)
         else:
             metrics["initial_makespan"] = self.raw.initial_makespan
             metrics["evaluated_events"] = self.raw.evaluated_events

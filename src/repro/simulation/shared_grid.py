@@ -48,7 +48,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.resources.pool import PoolEvent, ResourcePool
+from repro.core.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.core.credit import CreditLedger
+from repro.resources.pool import ResourcePool
 from repro.scheduling.aheft import AHEFTScheduler
 from repro.scheduling.base import Assignment, ResourceTimeline, Schedule, TIME_EPS
 from repro.simulation.event_core import EventCore, EventKind
@@ -83,6 +89,10 @@ class WorkflowOutcome:
     killed_jobs: int = 0
     #: the replayed actual timeline when an error model sampled the truth
     actual_schedule: Optional[Schedule] = None
+    #: absolute completion deadline (``None`` when the tenant set none)
+    deadline: Optional[float] = None
+    #: stretch SLO target (``None`` when the tenant set none)
+    slo_stretch: Optional[float] = None
 
     @property
     def flow_time(self) -> float:
@@ -100,6 +110,14 @@ class WorkflowOutcome:
     def reschedule_count(self) -> int:
         return sum(1 for decision in self.decisions if decision.adopted)
 
+    @property
+    def deadline_violated(self) -> bool:
+        return self.deadline is not None and self.completed_at > self.deadline + TIME_EPS
+
+    @property
+    def slo_violated(self) -> bool:
+        return self.slo_stretch is not None and self.stretch > self.slo_stretch + TIME_EPS
+
 
 @dataclass
 class SharedGridResult:
@@ -107,6 +125,10 @@ class SharedGridResult:
 
     policy: str
     outcomes: List[WorkflowOutcome]
+    #: admit/defer/reject log (empty when admission control was off)
+    admission: List[AdmissionDecision] = field(default_factory=list)
+    #: final per-tenant credit scores (empty when no ledger was attached)
+    credits: Dict[str, float] = field(default_factory=dict)
 
     def tenants(self) -> List[str]:
         """Tenant names in first-arrival order."""
@@ -128,6 +150,25 @@ class SharedGridResult:
 
     def total_killed_jobs(self) -> int:
         return sum(outcome.killed_jobs for outcome in self.outcomes)
+
+    @property
+    def rejected_count(self) -> int:
+        """Workflows turned away outright by admission control."""
+        return sum(1 for d in self.admission if d.action == "reject")
+
+    @property
+    def deferral_count(self) -> int:
+        """Failed admission offers (one arrival may defer several times)."""
+        return sum(1 for d in self.admission if d.action == "defer")
+
+    def rejected_keys(self) -> List[str]:
+        return [d.key for d in self.admission if d.action == "reject"]
+
+    def deadline_violations(self) -> int:
+        return sum(1 for o in self.outcomes if o.deadline_violated)
+
+    def slo_violations(self) -> int:
+        return sum(1 for o in self.outcomes if o.slo_violated)
 
     def shared_timelines(self) -> Dict[str, ResourceTimeline]:
         """The joint per-resource timelines of every tenant's final schedule.
@@ -171,10 +212,28 @@ class SharedGridExecutor:
         ``strategy`` names any registered scheduler with the
         ``reschedule`` interface, making the whole shared grid replan
         with that heuristic instead of AHEFT.
+    admission:
+        ``None``/``False`` (default) admits every arrival as before.
+        ``True`` or an :class:`~repro.core.admission.AdmissionConfig`
+        puts an :class:`~repro.core.admission.AdmissionController` in
+        front of the planner: overloaded arrivals are deferred to the
+        next predicted capacity-release point (earliest incumbent
+        completion or pool change) and rejected after ``max_deferrals``
+        failed offers.  The decision log lands in
+        :attr:`SharedGridResult.admission`.
+    credit_ledger:
+        Optional :class:`~repro.core.credit.CreditLedger` shared with the
+        planner (the ``credit_drf`` policy creates one automatically);
+        final scores land in :attr:`SharedGridResult.credits`.
 
     Trigger semantics at one instant: grid events are handled first (the
     incumbents re-book around the change), then same-instant arrivals are
-    admitted in ``seq`` order against the updated residual capacity.
+    admitted in ``seq`` order against the updated residual capacity;
+    re-offered (deferred) arrivals queue behind first offers at the same
+    instant in posting order.  An arrival that finds the pool momentarily
+    empty is deferred to the next pool change with capacity even without
+    admission control — only a grid with no future capacity at all still
+    raises.
     """
 
     def __init__(
@@ -190,6 +249,8 @@ class SharedGridExecutor:
         accept_only_if_better: bool = True,
         epsilon: float = 1e-9,
         error_model: Optional[ErrorModel] = None,
+        admission: Optional[AdmissionConfig] = None,
+        credit_ledger: Optional[CreditLedger] = None,
     ) -> None:
         from repro import _deprecation
 
@@ -209,10 +270,47 @@ class SharedGridExecutor:
         self.accept_only_if_better = accept_only_if_better
         self.epsilon = epsilon
         self.error_model = error_model
+        if admission is True:
+            admission = AdmissionConfig()
+        elif admission is False:
+            admission = None
+        self.admission = admission
+        self.credit_ledger = credit_ledger
+
+    # ------------------------------------------------------------------
+    # deferral retry points
+    # ------------------------------------------------------------------
+    def _next_capacity_time(self, clock: float) -> Optional[float]:
+        """The next pool-change instant at which capacity exists again."""
+        for time in sorted({event.time for event in self.pool.events()}):
+            if time > clock + TIME_EPS and self.pool.available_at(time):
+                return time
+        return None
+
+    def _next_retry_time(self, planner, clock: float) -> Optional[float]:
+        """When a deferred arrival should be re-offered to the grid.
+
+        The earliest point at which the residual capacity can grow: an
+        incumbent workflow's predicted completion or the next pool
+        membership change — whichever comes first.  ``None`` means the
+        grid will never look different (rejection is final).
+        """
+        if not self.pool.available_at(clock):
+            return self._next_capacity_time(clock)
+        candidates = [
+            wf.schedule.makespan()
+            for wf in planner.workflows()
+            if wf.completed_at is None and wf.schedule.makespan() > clock + TIME_EPS
+        ]
+        next_event = self._next_capacity_time(clock)
+        if next_event is not None:
+            candidates.append(next_event)
+        return min(candidates) if candidates else None
 
     def run(self) -> SharedGridResult:
         # imported here: repro.core.adaptive itself imports the simulation
         # package, so a module-level import would be circular
+        from repro.core.adaptive import _merge_triggers
         from repro.core.multi_tenant import MultiTenantPlanner
 
         planner = MultiTenantPlanner(
@@ -224,16 +322,15 @@ class SharedGridExecutor:
             strategy=self.strategy,
             accept_only_if_better=self.accept_only_if_better,
             epsilon=self.epsilon,
+            credit_ledger=self.credit_ledger,
         )
-        triggers: Dict[float, Optional[PoolEvent]] = {
-            event.time: event for event in self.pool.events()
-        }
-        if self.perf_profile is not None:
-            for time in self.perf_profile.change_times():
-                triggers.setdefault(time, None)
-        arrivals_at: Dict[float, List[WorkflowArrival]] = {}
-        for arrival in self.arrivals:
-            arrivals_at.setdefault(arrival.time, []).append(arrival)
+        # merged, not last-writer-wins: two same-instant pool events (legal
+        # after a ComposedScenario merge or with a custom pool) must both
+        # contribute their added/removed sets
+        triggers, _ = _merge_triggers(self.pool.events(), self.perf_profile)
+        controller = (
+            AdmissionController(self.admission) if self.admission is not None else None
+        )
 
         # One instant on the shared event core: the grid event first
         # (priority 0 — incumbents re-book around the change), then the
@@ -246,10 +343,43 @@ class SharedGridExecutor:
                 kind=EventKind.POOL_CHANGE if trigger is not None else EventKind.PERF_CHANGE,
                 label="grid-event",
             )
+
+        def defer(arrival: WorkflowArrival, retry: float) -> None:
+            core.post(
+                retry,
+                lambda: offer(arrival),
+                kind=EventKind.ARRIVAL,
+                priority=_ARRIVAL_PRIORITY,
+                label=f"deferred:{arrival.key}",
+            )
+
+        def offer(arrival: WorkflowArrival) -> None:
+            clock = core.now
+            if controller is None:
+                if not self.pool.available_at(clock):
+                    retry = self._next_capacity_time(clock)
+                    if retry is None:
+                        raise ValueError(
+                            f"no resources available at arrival time {clock}"
+                            " and none joining later"
+                        )
+                    defer(arrival, retry)
+                    return
+                planner.admit(arrival, clock)
+                return
+            retry = self._next_retry_time(planner, clock)
+            action, planned = controller.evaluate(
+                planner, arrival, clock, can_defer=retry is not None
+            )
+            if action == "admit":
+                planner.register(arrival, clock, planned)
+            elif action == "defer":
+                defer(arrival, retry)
+
         for arrival in self.arrivals:
             core.post(
                 arrival.time,
-                lambda a=arrival: planner.admit(a, core.now),
+                lambda a=arrival: offer(a),
                 kind=EventKind.ARRIVAL,
                 priority=_ARRIVAL_PRIORITY,
                 label=f"arrival:{arrival.key}",
@@ -284,10 +414,17 @@ class SharedGridExecutor:
                     wasted_work=wf.wasted_work,
                     killed_jobs=len(wf.killed_jobs),
                     actual_schedule=actual_schedule,
+                    deadline=wf.deadline,
+                    slo_stretch=wf.slo_stretch,
                 )
             )
         outcomes.sort(key=lambda outcome: outcome.seq)
-        return SharedGridResult(policy=self.policy, outcomes=outcomes)
+        return SharedGridResult(
+            policy=self.policy,
+            outcomes=outcomes,
+            admission=list(controller.decisions) if controller is not None else [],
+            credits=planner.credit.credits() if planner.credit is not None else {},
+        )
 
 
 def _replay_shared_actuals(

@@ -20,7 +20,7 @@ the swept parameter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -103,6 +103,17 @@ class TenantSpec:
         Workload sizing: random DAGs use ``v``/``out_degree``, applications
         use ``parallelism``; all cases are priced with ``ccr``/``beta``/
         ``omega_dag``.
+    deadline_factor:
+        Optional service target: each workflow's completion deadline is
+        ``arrival + deadline_factor * dedicated_span`` (the span it would
+        need alone on the pool it arrived to).  ``None`` = no deadline.
+    slo_stretch:
+        Optional stretch SLO: a completion whose achieved stretch exceeds
+        this value counts as an SLO violation.  ``None`` = no SLO.
+
+    Deadlines and SLOs are *targets*, not constraints — the planner never
+    refuses a booking over them, but violations feed the tenant's credit
+    score (:mod:`repro.core.credit`) and the run's violation metrics.
     """
 
     name: str
@@ -117,6 +128,8 @@ class TenantSpec:
     ccr: float = 1.0
     beta: float = 0.5
     omega_dag: float = 300.0
+    deadline_factor: Optional[float] = None
+    slo_stretch: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -125,6 +138,10 @@ class TenantSpec:
             raise ValueError("arrival_rate must be non-negative")
         if self.weight <= 0:
             raise ValueError("weight must be positive")
+        if self.deadline_factor is not None and self.deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+        if self.slo_stretch is not None and self.slo_stretch < 1.0:
+            raise ValueError("slo_stretch must be at least 1.0")
         if not self.mix:
             raise ValueError("mix must name at least one workload kind")
         for kind, share in self.mix:
@@ -201,6 +218,9 @@ class WorkflowArrival:
     kind: str
     case: WorkflowCase
     seq: int = 0
+    #: service targets inherited from the tenant spec (``None`` = none)
+    deadline_factor: Optional[float] = None
+    slo_stretch: Optional[float] = None
 
     @property
     def key(self) -> str:
@@ -246,7 +266,13 @@ class WorkloadStream:
                 case = spec.build_case(kind, index, seed=self.seed)
                 merged.append(
                     WorkflowArrival(
-                        tenant=spec.name, index=index, time=time, kind=kind, case=case
+                        tenant=spec.name,
+                        index=index,
+                        time=time,
+                        kind=kind,
+                        case=case,
+                        deadline_factor=spec.deadline_factor,
+                        slo_stretch=spec.slo_stretch,
                     )
                 )
         merged.sort(key=lambda a: (a.time, a.tenant, a.index))
@@ -258,6 +284,8 @@ class WorkloadStream:
                 kind=a.kind,
                 case=a.case,
                 seq=seq,
+                deadline_factor=a.deadline_factor,
+                slo_stretch=a.slo_stretch,
             )
             for seq, a in enumerate(merged)
         ]
@@ -273,6 +301,8 @@ def default_tenants(
     ccr: float = 1.0,
     beta: float = 0.5,
     omega_dag: float = 300.0,
+    deadline_factor: Optional[float] = None,
+    slo_stretch: Optional[float] = None,
 ) -> List[TenantSpec]:
     """``count`` tenants named ``t1..tN`` with staggered workload mixes.
 
@@ -300,6 +330,8 @@ def default_tenants(
             ccr=ccr,
             beta=beta,
             omega_dag=omega_dag,
+            deadline_factor=deadline_factor,
+            slo_stretch=slo_stretch,
         )
         for i in range(count)
     ]
