@@ -10,7 +10,9 @@ loop's Predictor exploits), for every competing strategy:
   ``minmin`` — plus
 * the dynamic batch baselines ``maxmin`` and ``sufferage``,
 * the HEFT-family newcomers ``cpop``, ``lookahead_heft`` and
-  ``heft_dup``.
+  ``heft_dup``,
+* the flow-based ``mincost_flow`` (Firmament-style min-cost max-flow
+  placement per ready wave).
 
 Reported per cell: the mean achieved makespan of each strategy (achieved
 — the scheduler plans on estimates, the grid executes sampled truths)
@@ -45,6 +47,7 @@ STRATEGIES = (
     "minmin",
     "maxmin",
     "sufferage",
+    "mincost_flow",
 )
 
 SCENARIOS = ("static", "paper", "departures")

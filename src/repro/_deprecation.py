@@ -24,12 +24,20 @@ _warned: Set[str] = set()
 _suppressed = 0
 
 
-def warn_once(name: str, message: str) -> None:
-    """Emit ``DeprecationWarning`` for ``name`` — only the first time."""
+def warn_once(name: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``name`` — only the first time.
+
+    ``stacklevel`` counts from this function (1) through its caller (2)
+    to the user's call site; the default of 3 fits a deprecated entry
+    point calling :func:`warn_once` directly.  Entry points that forward
+    through an intermediate frame (e.g. the ``run_*`` shims funnelling
+    into one helper) must pass a larger value so the warning is
+    attributed to the user's file and line, not the shim module.
+    """
     if _suppressed or name in _warned:
         return
     _warned.add(name)
-    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
 
 
 @contextlib.contextmanager

@@ -1251,7 +1251,12 @@ def _shim(mode: str, which: str, workflow, costs, pool, strategy, scheduler, opt
     from repro import _deprecation
     from repro.facade import run as _facade_run
 
-    _deprecation.warn_once(which, f"{which}() " + _DEPRECATION_HINT.format(mode=mode))
+    # stacklevel 4: warn_once -> _shim -> run_* wrapper -> user call site
+    _deprecation.warn_once(
+        which,
+        f"{which}() " + _DEPRECATION_HINT.format(mode=mode),
+        stacklevel=4,
+    )
     if strategy is not None and scheduler is not None:
         raise ValueError("pass either strategy= or scheduler=, not both")
     return _facade_run(

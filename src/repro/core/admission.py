@@ -149,7 +149,14 @@ class AdmissionController:
     def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
         self.config = config or AdmissionConfig()
         self.decisions: List[AdmissionDecision] = []
-        self._deferrals: Dict[str, int] = {}
+        #: open deferral chains: key -> (submission time, failed offers).
+        #: The submission time identifies the arrival *instance*: an entry
+        #: left behind by an abandoned chain (a deferred arrival that was
+        #: never re-offered) must not bias a later arrival reusing the
+        #: same key, and terminal decisions (admit/reject/supersession)
+        #: prune the entry so long arrival streams cannot grow this dict
+        #: without bound.
+        self._deferrals: Dict[str, Tuple[float, int]] = {}
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -171,12 +178,19 @@ class AdmissionController:
         to a rejection.
         """
         config = self.config
-        prior = self._deferrals.get(arrival.key, 0)
+        entry = self._deferrals.get(arrival.key)
+        if entry is not None and entry[0] != arrival.time:
+            # stale chain: a different arrival instance (re-submission or
+            # replayed stream) reuses the key, so the abandoned entry is
+            # terminal — prune it instead of inheriting its offer count
+            del self._deferrals[arrival.key]
+            entry = None
+        prior = entry[1] if entry is not None else 0
         resources = planner.pool.available_at(clock)
         if not resources:
             # momentarily empty pool: nothing to plan against, so the
             # saturation evidence is definitional (everything is booked)
-            action = self._throttle_action(arrival.key, prior, can_defer)
+            action = self._throttle_action(arrival, prior, can_defer)
             self._record(arrival, clock, action, 1.0, float("inf"), prior)
             return action, None
         planned = planner.plan_arrival(arrival, clock)
@@ -195,16 +209,42 @@ class AdmissionController:
             action = "admit"
             self._deferrals.pop(arrival.key, None)
         else:
-            action = self._throttle_action(arrival.key, prior, can_defer)
+            action = self._throttle_action(arrival, prior, can_defer)
         self._record(arrival, clock, action, saturation, predicted_stretch, prior)
         return action, planned
 
-    def _throttle_action(self, key: str, prior: int, can_defer: bool) -> str:
+    def _throttle_action(
+        self, arrival: WorkflowArrival, prior: int, can_defer: bool
+    ) -> str:
         if not can_defer or prior >= self.config.max_deferrals:
-            self._deferrals.pop(key, None)
+            self._deferrals.pop(arrival.key, None)
             return "reject"
-        self._deferrals[key] = prior + 1
+        self._deferrals[arrival.key] = (arrival.time, prior + 1)
         return "defer"
+
+    # ------------------------------------------------------------------
+    # deferral-chain bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def pending_deferrals(self) -> Dict[str, int]:
+        """Open deferral chains: key -> failed offers so far.
+
+        Terminal decisions (admit, reject) prune their entry, so outside
+        a defer→re-offer window this is empty; anything lingering here is
+        an arrival the caller deferred and never brought back.
+        """
+        return {key: count for key, (_, count) in self._deferrals.items()}
+
+    def forget(self, key: str) -> None:
+        """Drop the open deferral chain for ``key``, if any.
+
+        Callers driving :meth:`evaluate` directly (outside
+        :class:`~repro.simulation.shared_grid.SharedGridExecutor`, which
+        always re-offers) must call this when they abandon a deferred
+        arrival, so the controller's per-key state cannot grow without
+        bound over a long-lived stream.
+        """
+        self._deferrals.pop(key, None)
 
     def _record(
         self,

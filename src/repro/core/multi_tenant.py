@@ -314,6 +314,16 @@ class MultiTenantPlanner:
         if self.perf_profile is not None:
             effective = self.perf_profile.scaled_costs(effective, clock)
         scheduler = self.scheduler_factory()
+        bind = getattr(scheduler, "bind_tenant_context", None)
+        if bind is not None:
+            # credit-aware strategies (the flow scheduler's ``credit`` cost
+            # model) bid with the tenant's fair-share weight
+            weight = (
+                self.credit.weight(arrival.tenant)
+                if self.credit is not None
+                else 1.0
+            )
+            scheduler = bind(credit_weight=weight)
         busy = self.busy_view(None, clock)
         has_busy = any(busy.values())
         plan = scheduler.reschedule(

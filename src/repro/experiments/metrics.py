@@ -43,14 +43,23 @@ def average(values: Iterable[float]) -> float:
 def percentile(values: Iterable[float], q: float) -> float:
     """The ``q``-th percentile (linear interpolation; 0.0 when empty).
 
+    ``q = 0`` and ``q = 100`` return the minimum and maximum exactly.  An
+    out-of-range ``q`` raises :class:`ValueError` regardless of the input —
+    validating after the empty-input shortcut used to let ``percentile([],
+    250)`` silently return 0.0, masking caller bugs on empty slices.
+
     Used for the tail metrics of the multi-tenant experiments (e.g. the
     95th-percentile flow time).
     """
+    if not 0 <= q <= 100:
+        raise ValueError("percentile q must be in [0, 100]")
     values = list(values)
     if not values:
         return 0.0
-    if not 0 <= q <= 100:
-        raise ValueError("percentile q must be in [0, 100]")
+    if q == 0:
+        return float(min(values))
+    if q == 100:
+        return float(max(values))
     return float(np.percentile(np.asarray(values, dtype=float), q))
 
 

@@ -71,13 +71,14 @@ def make(kind: str, name: str, **params):
     """
     kind = _resolve_kind(kind)
     if kind == "scheduler":
-        from repro.scheduling.registry import SCHEDULERS
+        from repro.scheduling.registry import SCHEDULERS, validate_scheduler_params
 
         info = SCHEDULERS.get(name)
         if info is None:
             raise KeyError(
                 f"unknown scheduler {name!r}; registered: {sorted(SCHEDULERS)}"
             )
+        validate_scheduler_params(name, info.factory, params)
         return info.factory(**params)
     if kind == "scenario":
         from repro.scenarios.base import ScenarioError

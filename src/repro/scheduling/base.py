@@ -166,7 +166,7 @@ class ResourceTimeline:
         else:
             # Intervals finishing at/before ``ready`` neither move the
             # cursor nor open a usable gap (that would need ``ready +
-            # duration <= start + eps`` with ``start <= ready``), so the
+            # duration - eps <= start`` with ``start <= ready``), so the
             # scan starts at the bisect position, stepping back over any
             # interval still in flight at ``ready``.
             first = bisect_left(self._starts, ready)
@@ -181,7 +181,13 @@ class ResourceTimeline:
         cursor = ready
         for index in range(first, len(intervals)):
             start, finish, _ = intervals[index]
-            if cursor + duration <= start + TIME_EPS:
+            # Exact negation of the overlap predicate in :meth:`occupy`
+            # (``interval_start < candidate_finish - eps``), evaluated
+            # through the same float expression so the two can never
+            # disagree.  The earlier ``cursor + duration <= start + eps``
+            # form rounded differently for epsilon-scale operands and
+            # accepted gaps that ``occupy`` then rejected as overlapping.
+            if cursor + duration - TIME_EPS <= start:
                 return cursor
             if finish > cursor:
                 cursor = finish

@@ -1,0 +1,79 @@
+"""The task-assignment flow graph (Firmament's shape, one ready wave).
+
+One solve maps a *wave* of ready tasks onto the resource pool::
+
+    source --1--> task_i --cost(i,r)--> resource_r --1--> sink
+                     \\--defer(i)--> unscheduled aggregator --|T|--> sink
+
+All task and resource arcs have unit capacity (a resource takes at most
+one new task per wave, mirroring Firmament's one-slot-per-PU machine
+topology); the unscheduled aggregator absorbs any task the solve prefers
+to defer, so the program is *always* feasible — max flow equals the
+number of tasks, and minimum cost decides who runs where and who waits
+for the next wave.
+
+Costs arrive as floats from the pluggable cost models and are scaled to
+integers here (``COST_SCALE``), keeping the solver exact and the result
+deterministic across platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.scheduling.flow.solver import FlowNetwork
+
+__all__ = ["COST_SCALE", "solve_assignment"]
+
+#: float costs are fixed-point scaled by this factor before solving
+COST_SCALE = 1024
+
+
+def _scaled(cost: float) -> int:
+    if cost != cost or cost == float("inf"):  # NaN / inf guard
+        raise ValueError(f"flow arc cost must be finite, got {cost!r}")
+    return max(0, int(round(cost * COST_SCALE)))
+
+
+def solve_assignment(
+    tasks: Sequence[str],
+    resources: Sequence[str],
+    assignment_cost: Callable[[str, str], float],
+    deferral_cost: Callable[[str], float],
+) -> Dict[str, str]:
+    """Min-cost assignment of one wave; ``task -> resource`` for the
+    tasks the solve placed (deferred tasks are simply absent).
+
+    ``assignment_cost(task, resource)`` prices running the task there
+    now; ``deferral_cost(task)`` prices sending it to the unscheduled
+    aggregator instead.  Both in float cost units.
+    """
+    if not tasks:
+        return {}
+    if not resources:
+        raise ValueError("cannot build an assignment graph without resources")
+    task_count = len(tasks)
+    source, sink, aggregator = 0, 1, 2
+    task_base = 3
+    resource_base = task_base + task_count
+    network = FlowNetwork(resource_base + len(resources))
+
+    placement_arcs: Dict[Tuple[str, str], int] = {}
+    for i, task in enumerate(tasks):
+        network.add_arc(source, task_base + i, 1, 0)
+        for r, rid in enumerate(resources):
+            placement_arcs[(task, rid)] = network.add_arc(
+                task_base + i, resource_base + r, 1, _scaled(assignment_cost(task, rid))
+            )
+        network.add_arc(task_base + i, aggregator, 1, _scaled(deferral_cost(task)))
+    for r in range(len(resources)):
+        network.add_arc(resource_base + r, sink, 1, 0)
+    network.add_arc(aggregator, sink, task_count, 0)
+
+    flow, _ = network.min_cost_max_flow(source, sink)
+    assert flow == task_count, "aggregator arc keeps the program feasible"
+    return {
+        task: rid
+        for (task, rid), arc in placement_arcs.items()
+        if network.flow_on(arc) > 0
+    }

@@ -42,6 +42,7 @@ from repro.scheduling.baselines import (
 )
 from repro.scheduling.cpop import CPOPScheduler
 from repro.scheduling.duplication import HEFTDupScheduler
+from repro.scheduling.flow.scheduler import MinCostFlowScheduler
 from repro.scheduling.heft import HEFTScheduler
 from repro.scheduling.lookahead import LookaheadHEFTScheduler
 from repro.scheduling.minmin import MinMinScheduler
@@ -55,6 +56,7 @@ __all__ = [
     "scheduler_kind",
     "scheduler_summary",
     "scheduler_parameters",
+    "validate_scheduler_params",
 ]
 
 _KINDS = ("static", "adaptive", "dynamic")
@@ -90,6 +92,38 @@ class StrategyInfo:
 
 #: name -> :class:`StrategyInfo`; mutate only via :func:`register_scheduler`.
 SCHEDULERS: Dict[str, StrategyInfo] = {}
+
+
+def validate_scheduler_params(
+    name: str, factory: Callable[..., object], params: Dict[str, object]
+) -> None:
+    """Reject keyword ``params`` the strategy's factory does not accept.
+
+    Every registry entry gets the same :class:`TypeError` — naming the
+    strategy and listing its valid parameters — instead of whatever the
+    underlying constructor happens to raise (dataclass ``__init__``
+    messages name neither), and regardless of whether a future factory
+    would have silently swallowed the keyword.  A factory declaring
+    ``**kwargs`` opts out: it explicitly accepts arbitrary keywords.
+    """
+    accepted = set()
+    for parameter in inspect.signature(factory).parameters.values():
+        if parameter.name == "self":
+            continue
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            accepted.add(parameter.name)
+    unknown = sorted(set(params) - accepted)
+    if unknown:
+        raise TypeError(
+            f"unknown parameter(s) {', '.join(map(repr, unknown))} for "
+            f"scheduler {name!r}; valid parameters: "
+            f"{sorted(accepted) if accepted else 'none'}"
+        )
 
 
 def register_scheduler(name: str, *, kind: str, summary: str = ""):
@@ -210,6 +244,12 @@ _BUILTINS: Tuple[Tuple[str, str, str, Callable[..., object]], ...] = (
         "static",
         "random resource per job (seeded sanity lower bound)",
         RandomStaticScheduler,
+    ),
+    (
+        "mincost_flow",
+        "adaptive",
+        "min-cost max-flow placement per ready wave (Firmament-style)",
+        MinCostFlowScheduler,
     ),
 )
 

@@ -210,6 +210,33 @@ def test_legacy_runners_warn_once_and_stay_bit_identical(case, model):
         run_static(case.workflow, case.costs, model.build_pool())
 
 
+def test_deprecation_warnings_point_at_the_callers_file(case, stream, model):
+    """Warning provenance: the reported location is the user's call site.
+
+    Regression: ``warn_once`` hard-coded ``stacklevel=3``, which is right
+    for entry points warning directly (``SharedGridExecutor.__init__``)
+    but attributed the ``run_*`` shims' warnings — which forward through
+    the shared ``_shim`` helper, one frame deeper — to the shim module
+    instead of the caller.
+    """
+    _deprecation.reset()
+    with pytest.warns(DeprecationWarning, match="run_adaptive") as records:
+        run_adaptive(case.workflow, case.costs, model.build_pool())
+    (record,) = records.list
+    assert record.filename == __file__
+    _deprecation.reset()
+    with pytest.warns(DeprecationWarning, match="run_static") as records:
+        run_static(case.workflow, case.costs, model.build_pool())
+    (record,) = records.list
+    assert record.filename == __file__
+    # the direct (non-forwarded) entry point keeps the default stacklevel
+    _deprecation.reset()
+    with pytest.warns(DeprecationWarning, match="SharedGridExecutor") as records:
+        SharedGridExecutor(stream.arrivals(), model.build_pool())
+    (record,) = records.list
+    assert record.filename == __file__
+
+
 def test_direct_shared_grid_construction_warns_but_facade_does_not(stream, model):
     _deprecation.reset()
     with pytest.warns(DeprecationWarning, match="SharedGridExecutor"):

@@ -1,0 +1,301 @@
+"""The min-cost max-flow scheduler: solver, graph, cost models, strategy."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.scheduling import make_scheduler, scheduler_kind
+from repro.scheduling.flow import (
+    BUSY_PU_OFFSET,
+    DEFERRAL_COST,
+    CreditCostModel,
+    FlowNetwork,
+    LocalityCostModel,
+    MinCostFlowScheduler,
+    OctopusCostModel,
+    mincost_flow_reschedule,
+    solve_assignment,
+)
+from repro.scheduling.frame import PartialScheduleFrame
+from repro.scheduling.validation import validate_schedule
+from repro.workflow.costs import TabularCostModel, UniformCostModel
+from repro.workflow.dag import Workflow
+
+RESOURCES = ["r1", "r2", "r3"]
+
+
+class TestFlowSolver:
+    def test_min_cost_route_beats_the_greedy_one(self):
+        # two disjoint s->t routes: cheap (cost 1) and dear (cost 10)
+        network = FlowNetwork(4)
+        cheap = network.add_arc(0, 2, 1, 1)
+        dear = network.add_arc(0, 3, 1, 10)
+        network.add_arc(2, 1, 1, 0)
+        network.add_arc(3, 1, 1, 0)
+        flow, cost = network.min_cost_max_flow(0, 1)
+        assert (flow, cost) == (2, 11)
+        assert network.flow_on(cheap) == 1 and network.flow_on(dear) == 1
+
+    def test_augmentation_reroutes_through_residual_arcs(self):
+        """The classic 2x2 assignment where greedy is globally wrong.
+
+        Greedy puts t1 on its cheap r1 (1) and forces t2 to r2 (5): total
+        6.  Min-cost flow must push t2 back over the residual arc and pay
+        3 instead — the whole point of the flow formulation.
+        """
+        placed = solve_assignment(
+            ["t1", "t2"],
+            ["r1", "r2"],
+            lambda t, r: {("t1", "r1"): 1, ("t1", "r2"): 2,
+                          ("t2", "r1"): 1, ("t2", "r2"): 5}[(t, r)],
+            lambda t: 1000.0,
+        )
+        assert placed == {"t1": "r2", "t2": "r1"}
+
+    def test_argument_validation(self):
+        network = FlowNetwork(2)
+        with pytest.raises(ValueError, match="out of range"):
+            network.add_arc(0, 7, 1, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            network.add_arc(0, 1, -1, 0)
+        with pytest.raises(ValueError, match="differ"):
+            network.min_cost_max_flow(0, 0)
+        with pytest.raises(ValueError, match="positive"):
+            FlowNetwork(0)
+
+
+class TestAssignmentGraph:
+    def test_unit_capacity_spreads_a_wave(self):
+        placed = solve_assignment(
+            ["t1", "t2", "t3"],
+            ["r1", "r2"],
+            lambda t, r: {"r1": 1.0, "r2": 2.0}[r],
+            lambda t: 100.0,
+        )
+        # two resources, one slot each: two placed on distinct resources
+        assert len(placed) == 2
+        assert sorted(placed.values()) == ["r1", "r2"]
+
+    def test_cheap_deferral_empties_the_wave(self):
+        placed = solve_assignment(
+            ["t1", "t2"], ["r1"], lambda t, r: 50.0, lambda t: 1.0
+        )
+        assert placed == {}
+
+    def test_empty_wave_and_missing_resources(self):
+        assert solve_assignment([], ["r1"], lambda t, r: 0, lambda t: 0) == {}
+        with pytest.raises(ValueError, match="resources"):
+            solve_assignment(["t1"], [], lambda t, r: 0, lambda t: 0)
+
+    def test_non_finite_costs_are_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            solve_assignment(
+                ["t1"], ["r1"], lambda t, r: float("nan"), lambda t: 0.0
+            )
+
+    def test_identical_inputs_solve_identically(self):
+        def run():
+            return solve_assignment(
+                ["a", "b", "c"],
+                RESOURCES,
+                lambda t, r: (hash((t, r)) % 97) / 7.0,
+                lambda t: 500.0,
+            )
+
+        assert run() == run()
+
+
+@pytest.fixture
+def fork_case():
+    """One source feeding three parallel jobs, uniform costs."""
+    wf = Workflow("fork")
+    wf.add_job("src")
+    for job in ["x", "y", "z"]:
+        wf.add_job(job)
+        wf.add_edge("src", job, data=2.0)
+    return wf, UniformCostModel(wf, computation=4.0)
+
+
+class TestCostModels:
+    def test_octopus_prices_busy_resources_up(self, fork_case):
+        workflow, costs = fork_case
+        frame = PartialScheduleFrame(workflow, costs, RESOURCES)
+        model = OctopusCostModel(frame)
+        assert model.assignment_cost("src", "r1") == 0
+        assert model.assignment_cost("src", "r2") == 1  # core-id tie-break
+        frame.place("src", "r1", 0.0, 4.0)
+        assert model.assignment_cost("x", "r1") == BUSY_PU_OFFSET
+        assert model.assignment_cost("x", "r2") == 1
+
+    def test_octopus_ignores_bookings_finished_before_the_clock(self, fork_case):
+        workflow, costs = fork_case
+        frame = PartialScheduleFrame(workflow, costs, RESOURCES)
+        frame.place("src", "r1", 0.0, 4.0)
+        late = PartialScheduleFrame(
+            workflow,
+            costs,
+            RESOURCES,
+            clock=10.0,
+            previous_schedule=frame.schedule,
+        )
+        assert OctopusCostModel(late).assignment_cost("x", "r1") == 0
+
+    def test_locality_charges_for_remote_inputs(self, fork_case):
+        workflow, costs = fork_case
+        frame = PartialScheduleFrame(workflow, costs, RESOURCES)
+        frame.place("src", "r2", 0.0, 4.0)
+        model = LocalityCostModel(frame)
+        local = model.assignment_cost("x", "r2")
+        remote = model.assignment_cost("x", "r1")
+        assert remote == pytest.approx(2.0, abs=1e-5)  # the edge's transfer
+        assert local < remote
+
+    def test_locality_refuses_to_price_unready_tasks(self, fork_case):
+        workflow, costs = fork_case
+        frame = PartialScheduleFrame(workflow, costs, RESOURCES)
+        with pytest.raises(RuntimeError, match="no placement yet"):
+            LocalityCostModel(frame).assignment_cost("x", "r1")
+
+    def test_credit_scales_bids_both_ways(self, fork_case):
+        workflow, costs = fork_case
+        frame = PartialScheduleFrame(workflow, costs, RESOURCES)
+        trusted = CreditCostModel(frame, credit_weight=1.0)
+        eroded = CreditCostModel(frame, credit_weight=0.5)
+        assert eroded.assignment_cost("src", "r1") == pytest.approx(
+            2 * trusted.assignment_cost("src", "r1")
+        )
+        assert eroded.deferral_cost("src") == pytest.approx(DEFERRAL_COST / 2)
+
+    def test_unknown_cost_model_rejected(self, fork_case):
+        workflow, costs = fork_case
+        with pytest.raises(ValueError, match="cost model"):
+            mincost_flow_reschedule(workflow, costs, RESOURCES, cost_model="nope")
+        with pytest.raises(ValueError, match="cost model"):
+            MinCostFlowScheduler(cost_model="nope")
+
+
+class TestMinCostFlowScheduler:
+    @pytest.mark.parametrize("cost_model", ["octopus", "locality", "credit"])
+    def test_static_schedule_is_feasible(self, make_case, cost_model):
+        case = make_case(v=24, seed=3)
+        scheduler = MinCostFlowScheduler(cost_model=cost_model)
+        schedule = scheduler.schedule(case.workflow, case.costs, RESOURCES)
+        validate_schedule(case.workflow, case.costs, schedule)
+        assert len(schedule) == len(case.workflow.jobs)
+
+    def test_waves_spread_ready_tasks_across_resources(self, fork_case):
+        workflow, costs = fork_case
+        schedule = MinCostFlowScheduler().schedule(workflow, costs, RESOURCES)
+        wave = {schedule.resource_of(j) for j in ("x", "y", "z")}
+        assert wave == set(RESOURCES)
+
+    def test_locality_model_keeps_heavy_chains_local(self):
+        wf = Workflow("chain")
+        for job in ("a", "b"):
+            wf.add_job(job)
+        wf.add_edge("a", "b", data=1000.0)
+        costs = UniformCostModel(wf, computation=1.0)
+        schedule = MinCostFlowScheduler(cost_model="locality").schedule(
+            wf, costs, RESOURCES
+        )
+        assert schedule.resource_of("b") == schedule.resource_of("a")
+
+    def test_reschedule_pins_executed_history(self, make_case):
+        case = make_case(v=18, seed=5)
+        scheduler = MinCostFlowScheduler()
+        initial = scheduler.schedule(case.workflow, case.costs, RESOURCES)
+        clock = initial.makespan() * 0.5
+        replanned = scheduler.reschedule(
+            case.workflow,
+            case.costs,
+            RESOURCES,
+            clock=clock,
+            previous_schedule=initial,
+        )
+        validate_schedule(case.workflow, case.costs, replanned)
+        for job in case.workflow.jobs:
+            before = initial.get(job)
+            if before is not None and before.finish <= clock:
+                assert replanned.get(job) == before
+
+    def test_deferral_dominated_wave_still_terminates(self, fork_case):
+        """If every placement arc loses to deferral the loop must not spin."""
+        workflow, costs = fork_case
+        # a saturated pool: the octopus busy offsets exceed the (tiny)
+        # deferral price, so the first solves defer everything
+        import repro.scheduling.flow.scheduler as flow_scheduler
+
+        class StubbornModel(OctopusCostModel):
+            def deferral_cost(self, job):
+                return 0.0  # always cheaper than any placement
+
+        original = flow_scheduler.FLOW_COST_MODELS
+        flow_scheduler.FLOW_COST_MODELS = {**original, "stubborn": StubbornModel}
+        try:
+            schedule = mincost_flow_reschedule(
+                workflow, costs, RESOURCES, cost_model="stubborn"
+            )
+        finally:
+            flow_scheduler.FLOW_COST_MODELS = original
+        validate_schedule(workflow, costs, schedule)
+        assert len(schedule) == len(workflow.jobs)
+
+    def test_registry_entry_and_config_contract(self):
+        assert scheduler_kind("mincost_flow") == "adaptive"
+        scheduler = make_scheduler("mincost_flow", cost_model="credit")
+        assert scheduler.cost_model == "credit"
+        assert dataclasses.is_dataclass(scheduler)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            scheduler.cost_model = "octopus"
+        with pytest.raises(ValueError, match="positive"):
+            MinCostFlowScheduler(credit_weight=0.0)
+
+    def test_bind_tenant_context_returns_a_reweighted_copy(self):
+        scheduler = MinCostFlowScheduler(cost_model="credit")
+        bound = scheduler.bind_tenant_context(credit_weight=0.625)
+        assert bound.credit_weight == 0.625
+        assert scheduler.credit_weight == 1.0
+        assert bound.cost_model == "credit"
+
+
+class TestFlowInMultiTenancy:
+    def test_planner_binds_the_tenant_credit_weight(self, make_pool, make_case):
+        from repro.core.credit import CreditLedger
+        from repro.core.multi_tenant import MultiTenantPlanner
+        from repro.workload.streams import WorkflowArrival
+
+        ledger = CreditLedger()
+        for _ in range(10):
+            ledger.record_completion("t1", stretch=50.0, deadline_violated=True)
+        planner = MultiTenantPlanner(
+            make_pool(4),
+            scheduler_factory=lambda: MinCostFlowScheduler(cost_model="credit"),
+            policy="credit_drf",
+            credit_ledger=ledger,
+        )
+        arrival = WorkflowArrival("t1", 0, 0.0, "random", make_case(v=10))
+        planned = planner.plan_arrival(arrival, 0.0)
+        assert planned.scheduler.credit_weight == pytest.approx(
+            ledger.weight("t1")
+        )
+        assert planned.scheduler.credit_weight < 1.0
+
+    def test_sweep_multi_workflow_accepts_the_strategy(self):
+        from repro.experiments.multi_tenant import MultiTenantConfig
+        from repro.experiments.sweep import sweep_multi_workflow
+
+        base = MultiTenantConfig(
+            tenants=2, resources=5, v=10, parallelism=5, max_arrivals=2, seed=0
+        )
+        points = sweep_multi_workflow(
+            arrival_rates=[0.004],
+            tenant_counts=[2],
+            scenarios=["static"],
+            policies=["credit_drf"],
+            strategies=["mincost_flow"],
+            base_config=base,
+        )
+        assert [point.strategy for point in points] == ["mincost_flow"]
+        assert points[0].workflows > 0

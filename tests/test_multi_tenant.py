@@ -7,7 +7,11 @@ from __future__ import annotations
 import pytest
 
 from repro.core.multi_tenant import POLICIES, ActiveWorkflow, MultiTenantPlanner
-from repro.experiments.metrics import jain_fairness_index, percentile
+from repro.experiments.metrics import (
+    exceedance_rate,
+    jain_fairness_index,
+    percentile,
+)
 from repro.experiments.multi_tenant import (
     MultiTenantConfig,
     run_multi_tenant_case,
@@ -295,6 +299,29 @@ class TestMetrics:
         assert percentile([], 95.0) == 0.0
         with pytest.raises(ValueError):
             percentile([1.0], 120.0)
+
+    def test_percentile_boundaries_exact(self):
+        values = [3.0, 1.0, 4.0, 1.5]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        # a generator is consumed once, never iterated twice
+        assert percentile(iter(values), 100) == 4.0
+        assert percentile([], 0) == 0.0
+        assert percentile([], 100) == 0.0
+
+    def test_percentile_invalid_q_raises_even_when_empty(self):
+        # regression: the empty-input shortcut used to run before the q
+        # validation, so percentile([], 250) silently returned 0.0
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([], 250.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([], -1.0)
+
+    def test_exceedance_rate_contract(self):
+        assert exceedance_rate([], 2.0) == 0.0
+        # strictly above the limit: values equal to the limit do not count
+        assert exceedance_rate([1.0, 2.0, 3.0, 4.0], 2.0) == pytest.approx(0.5)
+        assert exceedance_rate(iter([1.0, 3.0]), 2.0) == pytest.approx(0.5)
 
     def test_jain_index_bounds(self):
         assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)

@@ -398,6 +398,72 @@ class TestAdmissionUnits:
         assert action == "reject" and planned is None
 
 
+class TestDeferralBookkeeping:
+    """Deferral chains are pruned on every terminal decision.
+
+    Regression: `_deferrals` entries from abandoned chains (a deferred
+    arrival the caller never re-offered) used to live forever keyed by
+    the bare workflow key, so a later arrival reusing the key inherited
+    the stale offer count and was rejected before exhausting its own
+    deferral budget — and a long-lived stream grew the dict without
+    bound.
+    """
+
+    def _saturated_planner(self):
+        # no capacity until t=1000: every offer below that is throttled
+        return MultiTenantPlanner(
+            ResourcePool([Resource("r1", available_from=1000.0)])
+        )
+
+    def test_stale_chain_does_not_leak_into_resubmission(self, make_case):
+        planner = self._saturated_planner()
+        controller = AdmissionController(AdmissionConfig(max_deferrals=2))
+        case = make_case(v=6, seed=1)
+        first = WorkflowArrival("t1", 0, 0.0, "random", case, seq=0)
+        assert controller.evaluate(planner, first, 0.0)[0] == "defer"
+        assert controller.evaluate(planner, first, 10.0)[0] == "defer"
+        # chain abandoned here; a re-submission reusing the key must get
+        # the full deferral budget, not the abandoned chain's count
+        resubmitted = WorkflowArrival("t1", 0, 500.0, "random", case, seq=1)
+        actions = [
+            controller.evaluate(planner, resubmitted, clock)[0]
+            for clock in (500.0, 510.0, 520.0)
+        ]
+        assert actions == ["defer", "defer", "reject"]
+        assert controller.pending_deferrals == {}
+
+    def test_terminal_decisions_prune_pending_state(self, make_case):
+        planner = self._saturated_planner()
+        controller = AdmissionController(AdmissionConfig(max_deferrals=1))
+        case = make_case(v=6, seed=1)
+        arrival = WorkflowArrival("t1", 0, 0.0, "random", case, seq=0)
+        assert controller.evaluate(planner, arrival, 0.0)[0] == "defer"
+        assert controller.pending_deferrals == {"t1/0": 1}
+        assert controller.evaluate(planner, arrival, 10.0)[0] == "reject"
+        assert controller.pending_deferrals == {}
+        # admit prunes too: permissive gates so only the empty pool
+        # throttles, then retry once capacity exists
+        permissive = AdmissionController(
+            AdmissionConfig(saturation_threshold=1.0, stretch_limit=1e9)
+        )
+        late = WorkflowArrival("t2", 0, 0.0, "random", case, seq=1)
+        assert permissive.evaluate(planner, late, 0.0)[0] == "defer"
+        assert permissive.pending_deferrals == {"t2/0": 1}
+        assert permissive.evaluate(planner, late, 1500.0)[0] == "admit"
+        assert permissive.pending_deferrals == {}
+
+    def test_forget_drops_abandoned_chain(self, make_case):
+        planner = self._saturated_planner()
+        controller = AdmissionController()
+        case = make_case(v=6, seed=1)
+        arrival = WorkflowArrival("t1", 0, 0.0, "random", case, seq=0)
+        assert controller.evaluate(planner, arrival, 0.0)[0] == "defer"
+        assert controller.pending_deferrals == {"t1/0": 1}
+        controller.forget("t1/0")
+        assert controller.pending_deferrals == {}
+        controller.forget("ghost")  # unknown keys are a no-op
+
+
 class TestAdmissionOffBitIdentity:
     """A permissive controller must change nothing: admission decisions
     are logged but every arrival admits exactly as without a controller,

@@ -154,6 +154,67 @@ class TestTimelineMatchesSeedTimeline:
         assert fast.earliest_start(4.0, 0.0) == naive.earliest_start(4.0, 0.0)
 
 
+#: epsilon-scale grid for the gap-accept/occupy consistency property: values
+#: a few TIME_EPS apart are exactly where ``+ eps`` and ``- eps`` comparisons
+#: round differently.
+_EPS_GRID = 1e-9
+
+
+class TestGapAcceptOccupyConsistency:
+    """``earliest_start`` must never hand out a slot ``occupy`` rejects.
+
+    Regression for an epsilon asymmetry: the gap scan accepted slots with
+    ``cursor + duration <= start + TIME_EPS`` while ``occupy`` flags an
+    overlap on ``start < finish - TIME_EPS``.  For epsilon-scale operands
+    the two float expressions round differently, so an epsilon-duration job
+    could be booked into a gap that ``occupy`` (and the schedule validator)
+    then rejected as overlapping.
+    """
+
+    def test_epsilon_duration_gap_found_by_fuzzing(self):
+        # minimal counterexample found by fuzzing the pre-fix scan:
+        # cursor + duration and start + TIME_EPS both round to
+        # 3.0000000000000004e-09, so the old gap accept fired while
+        # occupy's ``finish - TIME_EPS`` check still saw an overlap
+        tl = ResourceTimeline("r")
+        tl.occupy(2e-09, 0.250000002, "j0")
+        tl.occupy(0.5, 1.5, "j1")
+        duration = 2e-09
+        slot = tl.earliest_start(1e-09, duration)
+        tl.occupy(slot, slot + duration, "j2")
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 8)), max_size=12
+        ),
+        queries=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 8)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_epsilon_scale_slots_are_always_bookable(self, ops, queries):
+        tl = ResourceTimeline("r")
+        for k, (start_units, duration_units) in enumerate(ops):
+            start = start_units * _EPS_GRID
+            finish = start + duration_units * _EPS_GRID
+            try:
+                tl.occupy(start, finish, f"j{k}")
+            except ValueError:
+                pass  # overlapping op: keep the timeline, drop the interval
+        booked = tl.intervals()
+        for ready_units, duration_units in queries:
+            ready = ready_units * _EPS_GRID
+            duration = duration_units * _EPS_GRID
+            for insertion in (True, False):
+                slot = tl.earliest_start(ready, duration, insertion=insertion)
+                probe = ResourceTimeline("probe")
+                for s, f, j in booked:
+                    probe.occupy(s, f, j)
+                probe.occupy(slot, slot + duration, "candidate")
+
+
 def _application_cases():
     yield generate_blast_case(24, ccr=1.0, beta=0.5, omega_dag=300.0, seed=4)
     yield generate_wien2k_case(16, ccr=1.0, beta=0.5, omega_dag=300.0, seed=4)

@@ -59,6 +59,48 @@ class TestRegistryApi:
         assert params == {"insertion": True}
         assert scheduler_parameters("random_static")["seed"] == 0
 
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS))
+    def test_unknown_keyword_rejected_uniformly(self, name):
+        """Every entry raises one TypeError shape naming the strategy.
+
+        Regression: ``make_scheduler`` used to forward keywords straight
+        to the factory, so the error was whatever the constructor raised
+        — a dataclass ``__init__`` message naming neither the strategy
+        nor its valid parameters, and nothing at all for a factory that
+        swallowed ``**kwargs``.
+        """
+        with pytest.raises(TypeError, match=rf"scheduler '{name}'"):
+            make_scheduler(name, definitely_not_a_parameter=1)
+
+    @pytest.mark.parametrize("name", sorted(SCHEDULERS))
+    def test_parameters_report_factory_defaults(self, name):
+        import inspect
+
+        params = scheduler_parameters(name)
+        signature = inspect.signature(SCHEDULERS[name].factory)
+        for param_name, default in params.items():
+            parameter = signature.parameters[param_name]
+            expected = (
+                None
+                if parameter.default is inspect.Parameter.empty
+                else parameter.default
+            )
+            assert default == expected
+
+    def test_unknown_keyword_error_lists_valid_parameters(self):
+        with pytest.raises(TypeError, match="insertion"):
+            make_scheduler("heft", nope=1)
+
+    def test_var_keyword_factory_opts_out_of_validation(self):
+        from repro.scheduling.registry import validate_scheduler_params
+
+        def flexible(**kwargs):  # explicitly accepts anything
+            return kwargs
+
+        validate_scheduler_params("flexible", flexible, {"anything": 1})
+        with pytest.raises(TypeError, match="scheduler 'strict'"):
+            validate_scheduler_params("strict", lambda a=1: a, {"b": 2})
+
     def test_duplicate_registration_is_rejected(self):
         with pytest.raises(ValueError, match="already registered"):
             register_scheduler("heft", kind="static")(object)
