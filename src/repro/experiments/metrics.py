@@ -185,7 +185,14 @@ def schedule_length_ratio(
     An SLR of 1 would mean the schedule is as short as the critical path
     executed on the fastest resources with free communication — the usual
     lower-bound normalisation in the HEFT literature.
+
+    An empty ``resources`` pool has no defined lower bound; 0.0 is returned,
+    matching the other metrics' empty-input convention (``critical_path_length``
+    would otherwise silently fall back to *average* costs, mispricing the
+    bound instead of flagging the degenerate input).
     """
+    if not resources:
+        return 0.0
     lower_bound = critical_path_length(
         workflow,
         costs,
@@ -204,8 +211,13 @@ def speedup(
     makespan: float,
     resources: Sequence[str],
 ) -> float:
-    """Sequential-execution time on the single best resource over the makespan."""
-    if makespan <= 0:
+    """Sequential-execution time on the single best resource over the makespan.
+
+    Returns 0.0 for an empty ``resources`` pool (no sequential baseline
+    exists), matching the other metrics' empty-input convention instead of
+    letting ``min()`` raise a bare ``ValueError`` from an empty generator.
+    """
+    if makespan <= 0 or not resources:
         return 0.0
     best_sequential = min(
         sum(costs.computation_cost(job, rid) for job in workflow.jobs)
@@ -215,13 +227,19 @@ def speedup(
 
 
 def resource_utilisation(schedule: Schedule, resources: Sequence[str]) -> Dict[str, float]:
-    """Busy fraction of every resource over the schedule's makespan."""
+    """Busy fraction of every resource over the schedule's makespan.
+
+    Counts *all* work booked on a resource — primary assignments and
+    duplicate copies placed by duplication strategies alike.  Summing
+    ``assignments_on`` only would make ``heft_dup``'s extra copies invisible
+    and understate busy fractions (the same bug class as the multi-tenant
+    ``consumed_time`` fix).
+    """
     span = schedule.makespan()
-    out: Dict[str, float] = {}
-    for rid in resources:
-        if span <= 0:
-            out[rid] = 0.0
-            continue
-        busy = sum(a.duration for a in schedule.assignments_on(rid))
-        out[rid] = busy / span
-    return out
+    out: Dict[str, float] = {rid: 0.0 for rid in resources}
+    if span <= 0:
+        return out
+    for assignment in schedule.all_assignments():
+        if assignment.resource_id in out:
+            out[assignment.resource_id] += assignment.duration
+    return {rid: busy / span for rid, busy in out.items()}

@@ -59,13 +59,21 @@ from repro.scheduling.base import (
     JobStatus,
     ResourceTimeline,
     Schedule,
+    TimelineArena,
     TIME_EPS,
 )
 from repro.scheduling.heft import (
     BusyIntervals,
+    _EftScanBuffers,
+    _min_eft_scan,
     heft_priority_order,
     occupy_busy_intervals,
 )
+
+#: recycled timelines for the per-trigger replan rebuilds; the timelines of
+#: a rescheduling pass never escape :func:`aheft_reschedule`, so the objects
+#: (and their interval lists) can be reused across triggers
+_ARENA = TimelineArena()
 from repro.workflow.costs import CostModel
 from repro.workflow.dag import Workflow
 
@@ -211,12 +219,17 @@ def aheft_reschedule(
     timelines: Dict[str, ResourceTimeline] = {}
     for rid in resources:
         start = max(clock, float(availability.get(rid, clock)))
-        timelines[rid] = ResourceTimeline(rid, available_from=start)
+        timelines[rid] = _ARENA.acquire(rid, available_from=start)
     if busy is None:
+        batches: Dict[str, List[tuple]] = {}
         for assignment in pinned.values():
             timeline = timelines.get(assignment.resource_id)
             if timeline is not None and assignment.finish > timeline.available_from:
-                timeline.occupy(assignment.start, assignment.finish, assignment.job_id)
+                batches.setdefault(assignment.resource_id, []).append(
+                    (assignment.start, assignment.finish, assignment.job_id)
+                )
+        for rid, batch in batches.items():
+            timelines[rid].bulk_load(batch)
     else:
         # Shared grid: pinned work and foreign bookings go through the same
         # merge-tolerant booking path, because independently repaired plans
@@ -256,6 +269,7 @@ def aheft_reschedule(
             clock,
             insertion,
         )
+        _ARENA.release(timelines.values())
         return schedule
 
     # ------------------------------------------------------------------
@@ -302,6 +316,7 @@ def aheft_reschedule(
         assert best is not None
         timelines[best.resource_id].occupy(best.start, best.finish, job)
         schedule.add(best)
+    _ARENA.release(timelines.values())
     return schedule
 
 
@@ -337,8 +352,12 @@ def _place_fast(
     structure = workflow.structure()
     index = structure.index
     jobs = structure.jobs
-    w = costs.computation_matrix(resources).tolist()
+    w = costs.computation_rows(resources)
     pred_comm = costs.predecessor_communications()
+    timeline_list = [timelines[rid] for rid in resources]
+    scan_buf = _EftScanBuffers(timeline_list)
+    rid_index = {rid: j for j, rid in enumerate(resources)}
+    n_resources = len(resources)
 
     finish_of: List[Optional[float]] = [None] * structure.num_jobs
     resource_of: List[Optional[str]] = [None] * structure.num_jobs
@@ -347,68 +366,130 @@ def _place_fast(
         finish_of[i] = assignment.finish
         resource_of[i] = assignment.resource_id
 
-    arrivals_by_producer: Dict[str, List[Tuple[str, float]]] = {}
+    # hoist the per-predecessor state lookups (status, AFT, resource,
+    # recorded arrivals) into index-addressed arrays: the placement loop
+    # touches them once per edge, which at 100k-job scale dwarfs the one
+    # pass over the state dicts below
+    num_jobs = structure.num_jobs
+    finished_arr = bytearray(num_jobs)
+    aft_arr: List[float] = [0.0] * num_jobs
+    ex_arr: List[Optional[str]] = [None] * num_jobs
+    finished_status = JobStatus.FINISHED
+    for job_name, job_status in state.status.items():
+        if job_status is finished_status:
+            p = index.get(job_name)
+            if p is None:
+                continue
+            finished_arr[p] = 1
+            aft_arr[p] = state.actual_finish[job_name]
+            ex_arr[p] = state.executed_on[job_name]
+    arrivals_of: List[tuple] = [()] * num_jobs
     for (producer, rid), time in state.data_arrivals.items():
-        arrivals_by_producer.setdefault(producer, []).append((rid, time))
+        p = index.get(producer)
+        if p is not None:
+            arrivals_of[p] = arrivals_of[p] + ((rid, time),)
+
+    # bound dict lookup for the previous assignment (bypasses the per-call
+    # method wrapper; ``Schedule.get`` is exactly this dict access)
+    prev_get = (
+        previous_schedule._assignments.get if previous_schedule is not None else None
+    )
 
     for job in order:
         i = index[job]
         w_row = w[i]
-        old = previous_schedule.get(job) if previous_schedule is not None else None
-        # per-pred (default, overrides) FEA decomposition
-        pred_infos: List[Tuple[float, Dict[str, float]]] = []
-        override_rids: Set[str] = set()
-        default_max = clock
-        for p, comm in pred_comm[i]:
-            pred_job = jobs[p]
-            if state.job_status(pred_job) is JobStatus.FINISHED:
-                executed_on = state.executed_on[pred_job]
-                aft = state.actual_finish[pred_job]
-                overrides = {executed_on: aft}  # Case 1
-                for rid, time in arrivals_by_producer.get(pred_job, ()):
-                    if rid not in overrides:
-                        overrides[rid] = time  # recorded transfer
-                if old is not None and old.resource_id not in overrides:
-                    # static-strategy rule: the transfer to the job's
-                    # previous target started at AFT
-                    overrides[old.resource_id] = aft + comm
+        old = prev_get(job) if prev_get is not None else None
+        old_rid = old.resource_id if old is not None else None
+        preds = pred_comm[i]
+        # Ready-time decomposition.  Every per-resource FEA override of a
+        # predecessor *lowers* its value relative to that predecessor's
+        # default: data already local or in flight arrives no later than a
+        # transfer started at ``clock`` (Cases 1/recorded/implied vs Case 2,
+        # up to the epsilon by which a "finished" AFT may exceed ``clock``),
+        # and a co-located successor skips the transfer (Case 3 vs the
+        # otherwise-case).  Hence ``ready(rid)`` equals the max default
+        # ``d1`` on every resource, except the override resources of one
+        # fixed argmax-default predecessor ``p1`` — plus the rare epsilon
+        # violators — which get the exact per-predecessor max below.
+        d1 = clock
+        p1 = -1
+        must: List[str] = []  # override resources needing the exact recompute
+        for p, comm in preds:
+            if finished_arr[p]:
                 default = clock + comm  # Case 2
+                aft = aft_arr[p]
+                if aft > default:
+                    must.append(ex_arr[p])
+                arrivals = arrivals_of[p]
+                if arrivals:
+                    for rid, time in arrivals:
+                        if time > default:
+                            must.append(rid)
+                if old_rid is not None and aft + comm > default:
+                    must.append(old_rid)
             else:
                 pred_finish = finish_of[p]
                 if pred_finish is None:
                     raise RuntimeError(
-                        f"predecessor {pred_job!r} of {job!r} is neither "
+                        f"predecessor {jobs[p]!r} of {job!r} is neither "
                         "executed nor scheduled; the priority order is not "
                         "topologically consistent"
                     )
-                overrides = {resource_of[p]: pred_finish}  # Case 3
                 default = pred_finish + comm  # otherwise
-            pred_infos.append((default, overrides))
-            override_rids.update(overrides)
-            if default > default_max:
-                default_max = default
-
-        best_rid: Optional[str] = None
-        best_start = 0.0
-        best_finish = float("-inf")
-        for j, rid in enumerate(resources):
-            if rid in override_rids:
-                ready = clock
-                for default, overrides in pred_infos:
-                    value = overrides.get(rid, default)
-                    if value > ready:
-                        ready = value
+                if pred_finish > default:  # negative comm (defensive)
+                    must.append(resource_of[p])
+            if default > d1:
+                d1 = default
+                p1 = p
+        if p1 >= 0:
+            if finished_arr[p1]:
+                must.append(ex_arr[p1])
+                for rid, _time in arrivals_of[p1]:
+                    must.append(rid)
+                if old_rid is not None:
+                    must.append(old_rid)
             else:
-                ready = default_max
-            duration = w_row[j]
-            start = timelines[rid].earliest_start(ready, duration, insertion=insertion)
-            finish = start + duration
-            if best_rid is None or finish < best_finish - TIME_EPS:
-                best_rid = rid
-                best_start = start
-                best_finish = finish
-        assert best_rid is not None
-        timelines[best_rid].occupy(best_start, best_finish, job)
+                must.append(resource_of[p1])
+
+        ready_buf = [d1] * n_resources
+        for rid in set(must):
+            j = rid_index.get(rid)
+            if j is None:
+                continue  # override on a resource that left the pool
+            ready = clock
+            for p, comm in preds:
+                if finished_arr[p]:
+                    if ex_arr[p] == rid:
+                        value = aft_arr[p]  # Case 1
+                    else:
+                        recorded = None
+                        for arid, time in arrivals_of[p]:
+                            if arid == rid:
+                                recorded = time
+                                break
+                        if recorded is not None:
+                            value = recorded  # recorded transfer
+                        elif rid == old_rid:
+                            # static-strategy rule: the transfer to the
+                            # job's previous target started at AFT
+                            value = aft_arr[p] + comm
+                        else:
+                            value = clock + comm  # Case 2
+                else:
+                    pred_finish = finish_of[p]
+                    if resource_of[p] == rid:
+                        value = pred_finish  # Case 3
+                    else:
+                        value = pred_finish + comm  # otherwise
+                if value > ready:
+                    ready = value
+            ready_buf[j] = ready
+        best_j, best_start, best_finish = _min_eft_scan(
+            scan_buf, ready_buf, w_row, insertion
+        )
+        best_rid = resources[best_j]
+        timeline_list[best_j].occupy(best_start, best_finish, job)
+        scan_buf.refresh(best_j)
         schedule.add(Assignment(job, best_rid, best_start, best_finish))
         finish_of[i] = best_finish
         resource_of[i] = best_rid

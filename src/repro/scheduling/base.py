@@ -22,12 +22,20 @@ __all__ = [
     "Assignment",
     "Schedule",
     "ResourceTimeline",
+    "TimelineArena",
     "JobStatus",
     "ExecutionState",
 ]
 
 #: Numerical slack used when comparing logical times.
 TIME_EPS = 1e-9
+
+#: Safety margin for the conservative max-gap filter in
+#: :meth:`ResourceTimeline.earliest_start` — generously larger than any
+#: accumulated float rounding at the magnitudes logical times reach, and
+#: far below any real task duration, so the filter is safely weaker than
+#: the exact gap predicate while still firing on essentially every query.
+_GAP_FILTER_SLACK = 1e-6
 
 
 @dataclass(frozen=True)
@@ -80,7 +88,31 @@ class ResourceTimeline:
         self._intervals: List[Tuple[float, float, str]] = []
         #: parallel list of start times, for bisect on the ready time
         self._starts: List[float] = []
+        #: parallel running maximum of finish times (``_prefix_finish[i]``
+        #: is the max finish over ``_intervals[:i + 1]``); lets the gap scan
+        #: of :meth:`earliest_start` absorb a whole run of unusable
+        #: intervals into its cursor with one bisect instead of walking them
+        self._prefix_finish: List[float] = []
+        #: exact directory of the internal idle gaps larger than
+        #: ``TIME_EPS``, sorted as ``(lo, hi)`` tuples where ``hi`` is the
+        #: start of the interval behind the gap and ``lo`` the prefix
+        #: maximum of every finish before it — i.e. exactly the cursor the
+        #: reference scan of :meth:`earliest_start` would carry into that
+        #: position.  For any task longer than the epsilon tolerance the
+        #: earliest-slot search reduces to one bisect plus a scan of these
+        #: entries; positions whose gap is at most ``TIME_EPS`` can never
+        #: accept such a task, so leaving them out loses nothing.
+        self._gaps: List[Tuple[float, float]] = []
         self._max_finish: float = float("-inf")
+        #: conservative upper bound on the size of any idle gap between
+        #: occupied intervals (see :meth:`earliest_start`); only ever
+        #: overestimates (exact after :meth:`bulk_load`)
+        self._max_gap_bound: float = 0.0
+        #: conservative upper bound on the *end* of the last internal idle
+        #: gap larger than ``TIME_EPS`` (see :meth:`earliest_start`); a
+        #: query ready at/after it can only append at the tail.  Gaps only
+        #: ever shrink or split after creation, so the bound stays valid.
+        self._gap_end_bound: float = float(available_from)
 
     # ------------------------------------------------------------------
     def occupy(self, start: float, finish: float, job_id: str) -> None:
@@ -97,6 +129,38 @@ class ResourceTimeline:
         finish = float(finish)
         item = (start, finish, job_id)
         intervals = self._intervals
+        # Tail-append fast path — the overwhelmingly common case when jobs
+        # are placed in priority order.  ``start`` at/after every finish
+        # (minus the overlap tolerance) rules out any overlap, and a start
+        # strictly past the last interval's start keeps the sort order, so
+        # the bisects and neighbour scans of the general path are skipped.
+        if intervals:
+            last = intervals[-1]
+            if start >= self._max_finish - TIME_EPS and start > last[0]:
+                intervals.append(item)
+                self._starts.append(start)
+                prefix = self._prefix_finish
+                prev = prefix[-1]
+                prefix.append(finish if finish > prev else prev)
+                if finish > self._max_finish:
+                    self._max_finish = finish
+                if start - prev > TIME_EPS:
+                    insort(self._gaps, (prev, start))
+                before = start - last[1]
+                if before > TIME_EPS and start > self._gap_end_bound:
+                    self._gap_end_bound = start
+                if before > self._max_gap_bound:
+                    self._max_gap_bound = before
+                return
+        else:
+            intervals.append(item)
+            self._starts.append(start)
+            self._prefix_finish.append(finish)
+            self._max_finish = finish
+            before = start - self.available_from
+            if before > self._max_gap_bound:
+                self._max_gap_bound = before
+            return
         pos = bisect_left(intervals, item)
         # Overlap with ``(os, of)`` means ``start < of - eps and os < finish
         # - eps``.  Rightwards, starts are non-decreasing, so the scan can
@@ -124,6 +188,149 @@ class ResourceTimeline:
         insort(self._starts, start)
         if finish > self._max_finish:
             self._max_finish = finish
+        pos = bisect_left(intervals, item)
+        prefix = self._prefix_finish
+        gaps = self._gaps
+        starts_list = self._starts
+        n_now = len(intervals)
+        if pos == n_now - 1:
+            prev = prefix[-1] if prefix else float("-inf")
+            prefix.append(finish if finish > prev else prev)
+            # the region ahead of the appended interval used to be the
+            # (untracked) trailing region; it becomes an internal gap now
+            if pos > 0 and start - prev > TIME_EPS:
+                insort(gaps, (prev, start))
+        else:
+            # the insertion splits the inter-interval region at ``pos``:
+            # drop its directory entry and re-add the surviving pieces
+            running = prefix[pos - 1] if pos > 0 else float("-inf")
+            old_next_start = starts_list[pos + 1]
+            if pos > 0:
+                if old_next_start - running > TIME_EPS:
+                    old_gap = (running, old_next_start)
+                    gi = bisect_left(gaps, old_gap)
+                    if gi < len(gaps) and gaps[gi] == old_gap:
+                        gaps.pop(gi)
+                if start - running > TIME_EPS:
+                    insort(gaps, (running, start))
+            prefix.insert(pos, 0.0)
+            new_running = finish if finish > running else running
+            prefix[pos] = new_running
+            if old_next_start - new_running > TIME_EPS:
+                insort(gaps, (new_running, old_next_start))
+            # Downstream, the new prefix is ``max(old prefix, finish)``;
+            # the old values are non-decreasing, so the update stops at the
+            # first position already at/above ``finish``.  Every raised
+            # prefix re-anchors the directory entry of the gap behind it.
+            idx = pos + 1
+            while idx < n_now:
+                old_val = prefix[idx]
+                if finish <= old_val:
+                    break
+                prefix[idx] = finish
+                if idx + 1 < n_now:
+                    nxt = starts_list[idx + 1]
+                    if nxt - old_val > TIME_EPS:
+                        old_gap = (old_val, nxt)
+                        gi = bisect_left(gaps, old_gap)
+                        if gi < len(gaps) and gaps[gi] == old_gap:
+                            gaps.pop(gi)
+                    if nxt - finish > TIME_EPS:
+                        insort(gaps, (finish, nxt))
+                idx += 1
+        # maintain the conservative gap bound: inserting can only split
+        # existing gaps (covered by the old bound) or open a new gap next to
+        # the inserted interval; neighbour finishes understate the prefix
+        # max by at most the epsilon overlap tolerance, which the filter
+        # slack absorbs
+        if pos > 0:
+            before = start - intervals[pos - 1][1]
+            # a fresh internal gap opened in front of the inserted interval
+            # ends at its start (the neighbour's finish understates the
+            # prefix max by at most the epsilon overlap tolerance, so this
+            # only over-triggers — the bound stays an overestimate)
+            if before > TIME_EPS and start > self._gap_end_bound:
+                self._gap_end_bound = start
+        else:
+            before = start - self.available_from
+        if before > self._max_gap_bound:
+            self._max_gap_bound = before
+        if pos + 1 < len(intervals):
+            after = intervals[pos + 1][0] - finish
+            if after > self._max_gap_bound:
+                self._max_gap_bound = after
+            # the region behind the inserted interval is internal now even
+            # if it used to be the (untracked) leading region before the
+            # first interval
+            if after > TIME_EPS and intervals[pos + 1][0] > self._gap_end_bound:
+                self._gap_end_bound = intervals[pos + 1][0]
+
+    def bulk_load(self, intervals: Iterable[Tuple[float, float, str]]) -> None:
+        """Install a batch of intervals in one sorted build.
+
+        Replaces ``k`` successive :meth:`occupy` calls (each an O(n) insort)
+        with a single O(k log k) sort — the rebuild of pinned work at the
+        start of every replan is the dominant timeline cost on large DAGs.
+        Only valid on an empty timeline; the batch must be pairwise
+        non-overlapping (it comes from an already-validated schedule), which
+        a sweep over the sorted order verifies defensively with the same
+        overlap predicate as :meth:`occupy`.
+        """
+        if self._intervals:
+            raise ValueError("bulk_load requires an empty timeline")
+        items = sorted(
+            (float(start), float(finish), job_id) for start, finish, job_id in intervals
+        )
+        max_finish = float("-inf")
+        max_item: Optional[Tuple[float, float, str]] = None
+        for item in items:
+            start, finish, job_id = item
+            if finish < start - TIME_EPS:
+                raise ValueError("finish precedes start")
+            if (
+                max_item is not None
+                and start < max_finish - TIME_EPS
+                and max_item[0] < finish - TIME_EPS
+            ):
+                self._raise_overlap(start, finish, job_id, max_item)
+            if finish > max_finish:
+                max_finish = finish
+                max_item = item
+        self._intervals = items
+        self._starts = [item[0] for item in items]
+        if items:
+            self._max_finish = max_finish
+            gap_bound = items[0][0] - self.available_from
+            gap_end = self.available_from
+            running = items[0][1]
+            prefix = [running]
+            gaps: List[Tuple[float, float]] = []
+            for start, finish, _ in items[1:]:
+                gap = start - running
+                if gap > gap_bound:
+                    gap_bound = gap
+                if gap > TIME_EPS:
+                    gaps.append((running, start))
+                    if start > gap_end:
+                        gap_end = start
+                if finish > running:
+                    running = finish
+                prefix.append(running)
+            self._prefix_finish = prefix
+            self._gaps = gaps
+            self._max_gap_bound = max(0.0, gap_bound)
+            self._gap_end_bound = gap_end
+
+    def reset(self, *, available_from: float = 0.0) -> None:
+        """Return the timeline to its pristine empty state for reuse."""
+        self.available_from = float(available_from)
+        self._intervals = []
+        self._starts = []
+        self._prefix_finish = []
+        self._gaps = []
+        self._max_finish = float("-inf")
+        self._max_gap_bound = 0.0
+        self._gap_end_bound = self.available_from
 
     def _raise_overlap(
         self, start: float, finish: float, job_id: str, other: Tuple[float, float, str]
@@ -158,6 +365,59 @@ class ResourceTimeline:
         intervals = self._intervals
         if not intervals or ready >= self._max_finish:
             return ready
+        if duration - TIME_EPS > self._max_gap_bound + _GAP_FILTER_SLACK:
+            # No internal idle gap can hold this task (the bound only ever
+            # overestimates gap sizes, and the filter slack absorbs every
+            # float-rounding corner).  The leading region before the first
+            # interval is the one candidate not covered by the bound — its
+            # usable size depends on ``ready`` — so it is checked exactly.
+            # Otherwise the scan below would walk every interval and return
+            # ``max(ready, max finish)``: intervals excluded by its bisect
+            # prologue all finish at/before ``ready``, so the global cached
+            # maximum gives the identical cursor.
+            if ready + duration - TIME_EPS <= intervals[0][0]:
+                return ready
+            return ready if ready > self._max_finish else self._max_finish
+        if duration - TIME_EPS > TIME_EPS + _GAP_FILTER_SLACK:
+            # A task longer than the epsilon tolerance can only start in the
+            # leading region before the first interval, inside one of the
+            # tracked internal gaps, or after every interval — positions
+            # whose gap is at most ``TIME_EPS`` would need ``duration <=
+            # 2·TIME_EPS``, excluded by the guard.
+            #
+            # Leading region: acceptance there implies ``ready`` precedes
+            # the first start, so the reference scan would test position 0
+            # with cursor ``ready`` and agree exactly.
+            if ready + duration - TIME_EPS <= intervals[0][0]:
+                return ready
+            if ready >= self._gap_end_bound:
+                # every tracked gap ends at/before ``ready`` — accepting one
+                # would again need a sub-epsilon task; only the tail remains
+                return ready if ready > self._max_finish else self._max_finish
+            # Directory scan.  Each entry carries ``lo`` = the prefix
+            # maximum of every finish before the gap, which equals the
+            # reference scan's running cursor at that position (intervals
+            # its prologue skips all finish at/before ``ready`` and cannot
+            # raise the cursor past it).  Entries are ordered by position,
+            # so the first acceptance is the reference's first acceptance,
+            # through the same float expression as :meth:`occupy`'s overlap
+            # predicate.  Gaps ending at/before ``ready`` cannot accept a
+            # guarded task, so start at the bisect position — stepping back
+            # once for a gap still open across ``ready`` (two such
+            # straddling gaps would be separated by sub-epsilon intervals,
+            # leaving the earlier one too small for a guarded task).
+            gaps = self._gaps
+            g = bisect_left(gaps, (ready,))
+            if g and gaps[g - 1][1] > ready:
+                g -= 1
+            n_gaps = len(gaps)
+            while g < n_gaps:
+                lo, hi = gaps[g]
+                cursor = ready if ready > lo else lo
+                if cursor + duration - TIME_EPS <= hi:
+                    return cursor
+                g += 1
+            return ready if ready > self._max_finish else self._max_finish
         if duration <= TIME_EPS:
             # A (near-)zero-length task can slot against any interval
             # boundary, including ones entirely before ``ready`` — scan all
@@ -178,19 +438,30 @@ class ResourceTimeline:
                 elif other[1] - other[0] > TIME_EPS:
                     break
                 i -= 1
+        # Jump scan.  The acceptance test is the exact negation of the
+        # overlap predicate in :meth:`occupy` (``interval_start <
+        # candidate_finish - eps``), evaluated through the same float
+        # expression so the two can never disagree.  Because the cursor only
+        # ever grows, a whole run of intervals starting before ``cursor +
+        # duration - eps`` fails that test one after the other — so instead
+        # of walking them, bisect directly to the first interval at/past the
+        # threshold and absorb the skipped run's finishes into the cursor
+        # via the prefix maximum.  The prefix max over ``[0..j-1]`` equals
+        # the reference scan's running cursor max exactly: every interval
+        # the prologue excluded finishes at/before ``ready`` and cannot
+        # raise it.
+        starts = self._starts
+        prefix = self._prefix_finish
+        n = len(intervals)
         cursor = ready
-        for index in range(first, len(intervals)):
-            start, finish, _ = intervals[index]
-            # Exact negation of the overlap predicate in :meth:`occupy`
-            # (``interval_start < candidate_finish - eps``), evaluated
-            # through the same float expression so the two can never
-            # disagree.  The earlier ``cursor + duration <= start + eps``
-            # form rounded differently for epsilon-scale operands and
-            # accepted gaps that ``occupy`` then rejected as overlapping.
-            if cursor + duration - TIME_EPS <= start:
+        i = first
+        while i < n:
+            if cursor + duration - TIME_EPS <= starts[i]:
                 return cursor
-            if finish > cursor:
-                cursor = finish
+            i = bisect_left(starts, cursor + duration - TIME_EPS, i + 1, n)
+            running = prefix[i - 1]
+            if running > cursor:
+                cursor = running
         return cursor
 
     def utilisation(self, horizon: float) -> float:
@@ -203,6 +474,32 @@ class ResourceTimeline:
             for start, finish, _ in self._intervals
         )
         return busy / window
+
+
+class TimelineArena:
+    """Recycles :class:`ResourceTimeline` objects across replans.
+
+    The adaptive loop rebuilds every resource's timeline from scratch on
+    each trigger; recycling the objects (and installing the pinned batch via
+    :meth:`ResourceTimeline.bulk_load`) keeps those rebuilds from
+    reallocating per trigger.  Only safe for timelines that never escape
+    the replan call — callers must not hand out references before
+    :meth:`release`.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Dict[str, ResourceTimeline] = {}
+
+    def acquire(self, resource_id: str, *, available_from: float = 0.0) -> ResourceTimeline:
+        timeline = self._pool.pop(resource_id, None)
+        if timeline is None:
+            return ResourceTimeline(resource_id, available_from=available_from)
+        timeline.reset(available_from=available_from)
+        return timeline
+
+    def release(self, timelines: Iterable[ResourceTimeline]) -> None:
+        for timeline in timelines:
+            self._pool[timeline.resource_id] = timeline
 
 
 class Schedule:
@@ -223,12 +520,23 @@ class Schedule:
         self.name = name
         self._assignments: Dict[str, Assignment] = {}
         self._duplicates: List[Assignment] = []
+        #: cached ``max finish`` (None = unknown); the adaptive loop queries
+        #: the makespan several times per trigger, so keep it O(1)
+        self._makespan_cache: Optional[float] = None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add(self, assignment: Assignment) -> None:
         """Add or replace the assignment of a job."""
+        if assignment.job_id in self._assignments:
+            # replacing may *lower* the max finish; recompute lazily
+            self._makespan_cache = None
+        elif (
+            self._makespan_cache is not None
+            and assignment.finish > self._makespan_cache
+        ):
+            self._makespan_cache = assignment.finish
         self._assignments[assignment.job_id] = assignment
 
     def extend(self, assignments: Iterable[Assignment]) -> None:
@@ -243,6 +551,7 @@ class Schedule:
         out = Schedule(name=name or self.name)
         out._assignments = dict(self._assignments)
         out._duplicates = list(self._duplicates)
+        out._makespan_cache = self._makespan_cache
         return out
 
     # ------------------------------------------------------------------
@@ -287,7 +596,9 @@ class Schedule:
         """
         if not self._assignments:
             return 0.0
-        return max(a.finish for a in self._assignments.values())
+        if self._makespan_cache is None:
+            self._makespan_cache = max(a.finish for a in self._assignments.values())
+        return self._makespan_cache
 
     def assignments_on(self, resource_id: str) -> List[Assignment]:
         """Assignments placed on ``resource_id`` sorted by start time."""
@@ -325,12 +636,15 @@ class Schedule:
         for rid in resource_ids:
             start = 0.0 if available_from is None else float(available_from.get(rid, 0.0))
             timelines[rid] = ResourceTimeline(rid, available_from=start)
+        grouped: Dict[str, List[Tuple[float, float, str]]] = {}
         for assignment in self._assignments.values():
-            if assignment.resource_id not in timelines:
-                timelines[assignment.resource_id] = ResourceTimeline(assignment.resource_id)
-            timelines[assignment.resource_id].occupy(
-                assignment.start, assignment.finish, assignment.job_id
+            grouped.setdefault(assignment.resource_id, []).append(
+                (assignment.start, assignment.finish, assignment.job_id)
             )
+        for rid, items in grouped.items():
+            if rid not in timelines:
+                timelines[rid] = ResourceTimeline(rid)
+            timelines[rid].bulk_load(items)
         return timelines
 
     def gantt_rows(self) -> List[Tuple[str, str, float, float]]:

@@ -39,7 +39,12 @@ from repro.scheduling.base import (
     Schedule,
     TIME_EPS,
 )
-from repro.scheduling.heft import BusyIntervals, occupy_busy_intervals
+from repro.scheduling.heft import (
+    BusyIntervals,
+    _EftScanBuffers,
+    _min_eft_scan,
+    occupy_busy_intervals,
+)
 from repro.workflow.costs import CostModel
 from repro.workflow.dag import Workflow
 
@@ -171,12 +176,42 @@ class PartialScheduleFrame:
         self.schedule.extend(pinned.values())
         #: duplicate copies placed so far: (job, resource) -> earliest finish
         self._dup_finish: Dict[Tuple[str, str], float] = {}
+        #: resources carrying a duplicate copy, per job (for the fast path's
+        #: override enumeration)
+        self._dup_rids: Dict[str, List[str]] = {}
         for dup in historical_dups:
             self.schedule.add_duplicate(dup)
             key = (dup.job_id, dup.resource_id)
             current = self._dup_finish.get(key)
             if current is None or dup.finish < current:
                 self._dup_finish[key] = dup.finish
+            self._dup_rids.setdefault(dup.job_id, []).append(dup.resource_id)
+
+        # ------------------------------------------------------------------
+        # fast-path state: with placement-uniform communication and the
+        # model's own workflow, :meth:`min_eft_placement` can run AHEFT's
+        # vectorised min-EFT kernel (default + per-resource overrides, then
+        # ``_min_eft_scan``) instead of |R| scalar FEA sweeps per job.
+        # ------------------------------------------------------------------
+        self._fast = workflow is costs.workflow and costs.has_uniform_communication
+        if self._fast:
+            structure = workflow.structure()
+            self._job_index = structure.index
+            self._job_names = structure.jobs
+            self._w_rows = costs.computation_rows(self.resources)
+            self._pred_comm = costs.predecessor_communications()
+            self._rid_index = {rid: j for j, rid in enumerate(self.resources)}
+            self._scan_buf = _EftScanBuffers(
+                [self.timelines[rid] for rid in self.resources]
+            )
+            arrivals_by_pred: Dict[str, List[Tuple[str, float]]] = {}
+            for (producer, rid), time in self.state.data_arrivals.items():
+                arrivals_by_pred.setdefault(producer, []).append((rid, time))
+            self._arrivals_by_pred = arrivals_by_pred
+        else:
+            self._scan_buf = None
+            self._rid_index = {}
+            self._arrivals_by_pred = {}
 
     # ------------------------------------------------------------------
     # FEA queries (paper Eq. 1–3, duplicate-aware)
@@ -244,6 +279,7 @@ class PartialScheduleFrame:
         assignment = Assignment(job, rid, start, finish)
         self.timelines[rid].occupy(start, finish, job)
         self.schedule.add(assignment)
+        self._refresh_scan(rid)
         return assignment
 
     def place_duplicate(
@@ -256,13 +292,35 @@ class PartialScheduleFrame:
         current = self._dup_finish.get((job, rid))
         if current is None or finish < current:
             self._dup_finish[(job, rid)] = finish
+        self._dup_rids.setdefault(job, []).append(rid)
+        self._refresh_scan(rid)
         return assignment
+
+    def _refresh_scan(self, rid: str) -> None:
+        if self._scan_buf is not None:
+            j = self._rid_index.get(rid)
+            if j is not None:
+                self._scan_buf.refresh(j)
 
     # ------------------------------------------------------------------
     def min_eft_placement(
         self, job: str, *, insertion: bool = True
     ) -> Tuple[str, float, float]:
-        """HEFT's minimum-EFT rule over all resources (deterministic ties)."""
+        """HEFT's minimum-EFT rule over all resources (deterministic ties).
+
+        On the fast path (model's own workflow, placement-uniform
+        communication) this runs the same default/override ready-time
+        decomposition as :func:`repro.scheduling.aheft.aheft_reschedule`
+        followed by the shared min-EFT scan — every per-resource FEA
+        override *lowers* a predecessor's value relative to its default
+        (data local or in flight arrives no later than a transfer started
+        now; a co-located successor skips the transfer; a duplicate copy
+        is a ``min``), so only the override resources of the argmax-default
+        predecessor, plus any epsilon violators, need the exact per-pred
+        sweep.  The scalar loop below remains the reference semantics.
+        """
+        if self._fast:
+            return self._min_eft_fast(job, insertion)
         best_rid: Optional[str] = None
         best_start = 0.0
         best_finish = float("inf")
@@ -274,3 +332,72 @@ class PartialScheduleFrame:
                 best_finish = finish
         assert best_rid is not None
         return best_rid, best_start, best_finish
+
+    def _min_eft_fast(self, job: str, insertion: bool) -> Tuple[str, float, float]:
+        state = self.state
+        clock = self.clock
+        sched_get = self.schedule._assignments.get
+        job_names = self._job_names
+        finished = JobStatus.FINISHED
+        prev = self.previous_schedule
+        old = prev.get(job) if prev is not None else None
+        old_rid = old.resource_id if old is not None else None
+        d1 = clock
+        p1_name: Optional[str] = None
+        p1_finished = False
+        must: List[str] = []
+        for p, comm in self._pred_comm[self._job_index[job]]:
+            pname = job_names[p]
+            if state.job_status(pname) is finished:
+                default = clock + comm  # Case 2
+                aft = state.actual_finish[pname]
+                if aft > default:
+                    must.append(state.executed_on[pname])
+                arrivals = self._arrivals_by_pred.get(pname)
+                if arrivals:
+                    for rid, time in arrivals:
+                        if time > default:
+                            must.append(rid)
+                if old_rid is not None and aft + comm > default:
+                    must.append(old_rid)
+                is_finished = True
+            else:
+                assignment = sched_get(pname)
+                if assignment is None:
+                    raise RuntimeError(
+                        f"predecessor {pname!r} of {job!r} is neither "
+                        "executed nor scheduled; the placement order is not "
+                        "topologically consistent"
+                    )
+                pred_finish = assignment.finish
+                default = pred_finish + comm  # otherwise
+                if pred_finish > default:  # negative comm (defensive)
+                    must.append(assignment.resource_id)
+                is_finished = False
+            if default > d1:
+                d1 = default
+                p1_name = pname
+                p1_finished = is_finished
+        if p1_name is not None:
+            if p1_finished:
+                must.append(state.executed_on[p1_name])
+                for rid, _time in self._arrivals_by_pred.get(p1_name, ()):
+                    must.append(rid)
+                if old_rid is not None:
+                    must.append(old_rid)
+            else:
+                must.append(sched_get(p1_name).resource_id)
+            # a duplicate copy of the argmax predecessor is a local data
+            # source that can lower its FEA below the shared default
+            must.extend(self._dup_rids.get(p1_name, ()))
+
+        ready_buf = [d1] * len(self.resources)
+        for rid in set(must):
+            j = self._rid_index.get(rid)
+            if j is not None:  # override on a resource outside the pool
+                ready_buf[j] = self.ready_time(job, rid)
+        i = self._job_index[job]
+        best_j, best_start, best_finish = _min_eft_scan(
+            self._scan_buf, ready_buf, self._w_rows[i], insertion
+        )
+        return self.resources[best_j], best_start, best_finish

@@ -230,14 +230,17 @@ class EventCore:
         if EventCore._instrumented:
             return self._step_instrumented()
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+            if self._queue[0].cancelled:
+                heapq.heappop(self._queue)
                 continue
+            # check the limit before popping: the event that trips it must
+            # stay visible to post-mortem pending_events()/peek_next_time()
             if self._processed >= self._max_events:
                 raise SimulationError(
                     f"exceeded the maximum of {self._max_events} events; "
                     "likely a runaway event loop"
                 )
+            event = heapq.heappop(self._queue)
             self._now = event.time
             self._processed += 1
             event.callback()
@@ -248,14 +251,15 @@ class EventCore:
         """As :meth:`step`, splitting dispatch time from handler time."""
         t0 = _time.perf_counter()
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+            if self._queue[0].cancelled:
+                heapq.heappop(self._queue)
                 continue
             if self._processed >= self._max_events:
                 raise SimulationError(
                     f"exceeded the maximum of {self._max_events} events; "
                     "likely a runaway event loop"
                 )
+            event = heapq.heappop(self._queue)
             self._now = event.time
             self._processed += 1
             t1 = _time.perf_counter()
@@ -285,7 +289,9 @@ class EventCore:
                 if next_time is None:
                     break
                 if until is not None and next_time > until:
-                    self._now = until
+                    # clamp: the clock never moves backwards, even when the
+                    # caller passes an ``until`` earlier than logical now
+                    self._now = max(self._now, until)
                     break
                 self.step()
         finally:

@@ -15,6 +15,7 @@ the paper rely on:
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -32,6 +33,14 @@ __all__ = [
     "max_parallelism",
     "average_parallelism",
 ]
+
+#: per-cost-model upward-rank cache enabling subgraph-scoped
+#: invalidation: when only data volumes changed between two calls (the
+#: workflow's mutation log can prove it), the cached rank vector is
+#: patched by re-ranking the dirty cone upstream of the changed edges
+#: instead of re-running the full recurrence.  Keyed weakly so dropping
+#: the cost model drops its cache.
+_RANK_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def upward_ranks(
@@ -60,26 +69,157 @@ def upward_ranks(
         return ranks
 
     structure = workflow.structure()
-    w_avg = costs.average_computation_costs(resources).tolist()
-    comm = costs.edge_communication_costs().tolist()
-    # flat edge array is grouped by source job in insertion order, matching
-    # structure.succ — compute each source's offset into it
-    offsets = [0] * structure.num_jobs
-    cursor = 0
-    for i in range(structure.num_jobs):
-        offsets[i] = cursor
-        cursor += len(structure.succ[i])
-    rank = [0.0] * structure.num_jobs
+    if structure.num_jobs == 0:
+        return {}
+    token = costs.cache_token()
+    res_key = tuple(resources) if resources is not None else None
+    if token is not None:
+        entry = _RANK_CACHE.get(costs)
+        if (
+            entry is not None
+            and entry["token"] == token
+            and entry["structure_version"] == workflow.structure_version
+            and entry["resources"] == res_key
+        ):
+            changed = workflow.data_edges_changed_between(
+                entry["version"], workflow.version
+            )
+            if changed is not None:
+                # only data volumes moved since the cached snapshot:
+                # re-rank the dirty cone upstream of the changed edges
+                rank_list = entry["rank"]
+                if changed:
+                    _refresh_dirty_cone(
+                        structure, costs, resources, rank_list, changed
+                    )
+                entry["version"] = workflow.version
+                return dict(zip(structure.jobs, rank_list))
+    w_arr = costs.average_computation_costs(resources)
+    comm_arr = costs.edge_communication_costs()
+    # Level-synchronous evaluation of the reverse-topological recurrence:
+    # jobs at reverse level L (0 = no successors) depend only on ranks at
+    # levels below L, so one gather + segmented max per level replaces the
+    # per-edge Python loop.  Float max is exact and the per-edge addition
+    # is the same float64 operation the scalar recurrence performs, so the
+    # ranks are bit-identical to the scalar evaluation.  The level
+    # partition and gather indices are structural (independent of costs
+    # and resources) and reused across replans via the cost-model cache.
+    leaf_idx, levels = costs.memoize_structural(
+        ("upward-rank-levels",), lambda: _reverse_level_batches(structure)
+    )
+    rank = np.empty(structure.num_jobs, dtype=np.float64)
+    rank[leaf_idx] = w_arr[leaf_idx]
+    for job_idx, edge_idx, tgt_idx, seg_offsets in levels:
+        candidates = comm_arr[edge_idx] + rank[tgt_idx]
+        best = np.maximum.reduceat(candidates, seg_offsets)
+        np.maximum(best, 0.0, out=best)
+        rank[job_idx] = w_arr[job_idx] + best
+    rank_list = rank.tolist()
+    if token is not None:
+        _RANK_CACHE[costs] = {
+            "token": token,
+            "version": workflow.version,
+            "structure_version": workflow.structure_version,
+            "resources": res_key,
+            "rank": rank_list,
+        }
+    return dict(zip(structure.jobs, rank_list))
+
+
+def _refresh_dirty_cone(
+    structure,
+    costs: CostModel,
+    resources: Optional[Sequence[str]],
+    rank: List[float],
+    changed_edges: Sequence[Tuple[str, str]],
+) -> None:
+    """Re-rank only the jobs upstream of the changed data edges, in place.
+
+    A job is re-ranked when one of its out-edges changed volume or when a
+    successor's rank changed; propagation stops as soon as a recomputed
+    rank *exactly* equals the stored one, which keeps the cone tight for
+    localised edits.  The per-job recomputation uses the same float64
+    operations (edge add, exact max) as the full recurrence, so the
+    patched vector is bit-identical to a full recompute.
+    """
+    index = structure.index
+    jobs = structure.jobs
+    succ = structure.succ
+    pred = structure.pred
+    dirty = set()
+    for src, _dst in changed_edges:
+        i = index.get(src)
+        if i is not None:
+            dirty.add(i)
+    if not dirty:
+        return
+    w_arr = costs.average_computation_costs(resources)
+    avg_comm = costs.average_communication_cost
     for i in reversed(structure.topo):
-        succ = structure.succ[i]
+        if i not in dirty:
+            continue
+        name = jobs[i]
         best = 0.0
-        base = offsets[i]
-        for k, j in enumerate(succ):
-            candidate = comm[base + k] + rank[j]
+        for j in succ[i]:
+            candidate = avg_comm(name, jobs[j]) + rank[j]
             if candidate > best:
                 best = candidate
-        rank[i] = w_avg[i] + best
-    return {job: rank[i] for i, job in enumerate(structure.jobs)}
+        new_rank = float(w_arr[i]) + best
+        if new_rank != rank[i]:
+            rank[i] = new_rank
+            dirty.update(pred[i])
+
+
+def _reverse_level_batches(structure) -> Tuple[np.ndarray, List[tuple]]:
+    """Group jobs by reverse topological level, with flat gather indices.
+
+    Returns ``(leaf_idx, levels)``: the indices of jobs without successors
+    (reverse level 0) and, per deeper level, ``(job_idx, edge_idx, tgt_idx,
+    seg_offsets)`` — the level's jobs, the positions of their out-edges in
+    the flat edge-cost array (grouped by source job in job order), the
+    successor index of each such edge, and the start offset of every job's
+    edge run for ``np.maximum.reduceat``.
+    """
+    succ = structure.succ
+    num_jobs = structure.num_jobs
+    offsets = [0] * num_jobs
+    cursor = 0
+    for i in range(num_jobs):
+        offsets[i] = cursor
+        cursor += len(succ[i])
+    rlevel = [0] * num_jobs
+    depth = 0
+    for i in reversed(structure.topo):
+        s = succ[i]
+        if s:
+            level = 1 + max(rlevel[j] for j in s)
+            rlevel[i] = level
+            if level > depth:
+                depth = level
+    by_level: List[List[int]] = [[] for _ in range(depth + 1)]
+    for i in range(num_jobs):
+        by_level[rlevel[i]].append(i)
+    leaf_idx = np.asarray(by_level[0], dtype=np.intp)
+    levels = []
+    for members in by_level[1:]:
+        edge_idx: List[int] = []
+        tgt_idx: List[int] = []
+        seg_offsets: List[int] = []
+        for i in members:
+            seg_offsets.append(len(edge_idx))
+            base = offsets[i]
+            for k, j in enumerate(succ[i]):
+                edge_idx.append(base + k)
+                tgt_idx.append(j)
+        levels.append(
+            (
+                np.asarray(members, dtype=np.intp),
+                np.asarray(edge_idx, dtype=np.intp),
+                np.asarray(tgt_idx, dtype=np.intp),
+                np.asarray(seg_offsets, dtype=np.intp),
+            )
+        )
+    return leaf_idx, levels
 
 
 def downward_ranks(

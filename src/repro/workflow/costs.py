@@ -155,6 +155,7 @@ class CostModel(abc.ABC):
         serving the old prices.
         """
         self.__dict__.pop("_dense_cache", None)
+        self.__dict__.pop("_structural_cache", None)
         self.__dict__["_pricing_version"] = self._pricing_version + 1
 
     @property
@@ -202,24 +203,79 @@ class CostModel(abc.ABC):
             entries[key] = builder()
         return entries[key]
 
+    def memoize_structural(self, key: Tuple, builder):
+        """Memoize ``builder()`` keyed on *structure* rather than version.
+
+        For views built only from the DAG's jobs/edges and job-level
+        pricing — dense computation matrices, rank-level partitions — an
+        edge-data refresh (``Workflow.set_data``) changes nothing, so
+        stamping on ``(structure_version, cache_token())`` lets them
+        survive it.  Never use this for anything priced from edge data
+        (communication views), which must stay on :meth:`memoize`.
+        """
+        token = self.cache_token()
+        if token is None:
+            return builder()
+        store = self.__dict__.get("_structural_cache")
+        stamp = (self.workflow.structure_version, token)
+        if store is None or store.get("stamp") != stamp:
+            store = {"stamp": stamp, "entries": {}}
+            self.__dict__["_structural_cache"] = store
+        entries = store["entries"]
+        if key not in entries:
+            entries[key] = builder()
+        return entries[key]
+
     def computation_matrix(self, resources: Sequence[str]) -> "np.ndarray":
         """Dense ``w[job_idx, resource_idx]`` matrix for the given pool.
 
         Rows follow ``workflow.structure().jobs`` (insertion order), columns
-        follow ``resources`` order.  Memoized per pool signature.
+        follow ``resources`` order.  Memoized per pool signature, assembled
+        from per-resource *columns* that are themselves memoized — under the
+        adaptive loop the pool signature changes on every join/leave event,
+        but most resources persist across events, so stacking cached columns
+        only prices the genuinely new resources instead of re-pricing the
+        whole ``jobs × pool`` table per event.  Entries are the exact same
+        ``computation_cost`` floats either way.
         """
         key = ("wmat", tuple(resources))
 
         def build() -> "np.ndarray":
             jobs = self.workflow.structure().jobs
+            if not resources:
+                return np.empty((len(jobs), 0), dtype=np.float64)
+            columns = [self._computation_column(rid) for rid in resources]
             matrix = np.empty((len(jobs), len(resources)), dtype=np.float64)
-            for i, job in enumerate(jobs):
-                row = matrix[i]
-                for j, resource in enumerate(resources):
-                    row[j] = self.computation_cost(job, resource)
+            for j, column in enumerate(columns):
+                matrix[:, j] = column
             return matrix
 
-        return self.memoize(key, build)
+        return self.memoize_structural(key, build)
+
+    def computation_rows(self, resources: Sequence[str]) -> List[List[float]]:
+        """:meth:`computation_matrix` as a list of per-job rows, memoized.
+
+        The placement loops index single ``w`` rows millions of times and
+        plain lists beat ndarray scalar indexing there; caching the
+        ``tolist`` view spares every replan the O(jobs × pool) conversion.
+        Callers must not mutate the returned rows.
+        """
+        return self.memoize_structural(
+            ("wrows", tuple(resources)),
+            lambda: self.computation_matrix(resources).tolist(),
+        )
+
+    def _computation_column(self, resource_id: str) -> "np.ndarray":
+        """One resource's ``w[:, j]`` column, memoized independently."""
+
+        def build() -> "np.ndarray":
+            jobs = self.workflow.structure().jobs
+            column = np.empty(len(jobs), dtype=np.float64)
+            for i, job in enumerate(jobs):
+                column[i] = self.computation_cost(job, resource_id)
+            return column
+
+        return self.memoize_structural(("wcol", resource_id), build)
 
     def average_computation_costs(
         self, resources: Optional[Sequence[str]] = None
@@ -245,7 +301,7 @@ class CostModel(abc.ABC):
                 )
             return self.computation_matrix(resources).mean(axis=1)
 
-        return self.memoize(key, build)
+        return self.memoize_structural(key, build)
 
     def edge_communication_costs(self) -> "np.ndarray":
         """``c̄`` per edge, aligned with ``workflow.structure().edges``.

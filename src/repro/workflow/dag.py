@@ -111,6 +111,18 @@ class Workflow:
         self._structure_version: int = 0
         self._structure_cache: Optional[WorkflowIndex] = None
         self._structure_cache_version: int = -1
+        #: recent mutations as ``(version_after, src, dst)`` — ``src``/``dst``
+        #: name the edge whose data changed, or are ``None`` for a
+        #: structural mutation.  Lets incremental consumers (the rank
+        #: cache) scope their invalidation to the jobs actually touched
+        #: between two versions instead of recomputing everything.
+        self._mutation_log: List[Tuple[int, Optional[str], Optional[str]]] = []
+        #: highest version whose mutation entry has been trimmed from the
+        #: log; ranges reaching at/below it are no longer reconstructible
+        self._mutation_log_floor: int = 0
+
+    #: retained mutation-log entries after a trim (trim triggers at 2x)
+    _MUTATION_LOG_LIMIT = 4096
 
     @property
     def version(self) -> int:
@@ -120,6 +132,44 @@ class Workflow:
         are invalidated automatically whenever the workflow mutates.
         """
         return self._version
+
+    @property
+    def structure_version(self) -> int:
+        """Monotone counter of *structural* mutations (jobs and edges only).
+
+        Unlike :attr:`version`, updating an edge's data volume does not
+        bump this — caches of purely structural or computation-priced
+        views key on it to survive edge-data refreshes.
+        """
+        return self._structure_version
+
+    def data_edges_changed_between(
+        self, old_version: int, new_version: int
+    ) -> Optional[List[Tuple[str, str]]]:
+        """Edges whose data changed in ``(old_version, new_version]``.
+
+        Returns ``None`` when the change set cannot be reconstructed —
+        a structural mutation occurred in the range, or the log no longer
+        covers it — in which case the caller must fall back to full
+        recomputation.  Edges may repeat if set multiple times.
+        """
+        if old_version > new_version or old_version < self._mutation_log_floor:
+            return None
+        changed: List[Tuple[str, str]] = []
+        for version, src, dst in self._mutation_log:
+            if version <= old_version or version > new_version:
+                continue
+            if src is None:
+                return None  # structural mutation in range
+            changed.append((src, dst))
+        return changed
+
+    def _log_mutation(self, src: Optional[str], dst: Optional[str]) -> None:
+        log = self._mutation_log
+        log.append((self._version, src, dst))
+        if len(log) > 2 * self._MUTATION_LOG_LIMIT:
+            self._mutation_log_floor = log[-self._MUTATION_LOG_LIMIT - 1][0]
+            del log[: -self._MUTATION_LOG_LIMIT]
 
     # ------------------------------------------------------------------
     # construction
@@ -179,6 +229,7 @@ class Workflow:
         self._succ[src][dst] = float(data)
         self._pred[dst][src] = float(data)
         self._version += 1  # costs change, topology does not
+        self._log_mutation(src, dst)
 
     # ------------------------------------------------------------------
     # cache bookkeeping
@@ -186,6 +237,7 @@ class Workflow:
     def _touch_structure(self) -> None:
         self._version += 1
         self._structure_version += 1
+        self._log_mutation(None, None)
 
     # ------------------------------------------------------------------
     # queries

@@ -195,3 +195,86 @@ def test_simulation_engine_alias_and_event_ordering_dataclass():
     early = Event(time=1.0, priority=0, sequence=0, callback=lambda: None)
     late = Event(time=1.0, priority=0, sequence=1, callback=lambda: None)
     assert early < late
+
+
+def test_run_until_in_the_past_never_rewinds_the_clock():
+    """Regression: ``run(until=t)`` with ``t < now`` used to rewind the clock.
+
+    The loop assigned ``self._now = until`` whenever the next event lay
+    beyond ``until`` — even when ``until`` was *earlier* than the current
+    logical time, violating the documented "clock never moves backwards"
+    contract (and making a subsequent ``post(now)`` of the old now raise).
+    """
+    core = EventCore()
+    core.post(5.0, lambda: None)
+    core.post(10.0, lambda: None)
+    assert core.run(until=7.0) == 7.0
+    # a second run bounded by an earlier horizon must clamp, not rewind
+    assert core.run(until=3.0) == 7.0
+    assert core.now == 7.0
+    # the clock still advances normally afterwards
+    assert core.run(until=10.0) == 10.0
+
+
+def test_max_events_guard_leaves_tripping_event_on_the_queue():
+    """Regression: the runaway event used to be popped before the raise.
+
+    Post-mortem inspection via ``pending_events``/``peek_next_time`` was
+    silently missing the very event that tripped the limit.
+    """
+    core = EventCore(max_events=2)
+    for t in (1.0, 2.0, 3.0):
+        core.post(t, lambda: None)
+    with pytest.raises(SimulationError, match="maximum of 2 events"):
+        core.run()
+    assert core.pending_events == 1
+    assert core.peek_next_time() == 3.0
+
+
+#: interleaved operations against a live core: post a future event, run up
+#: to an arbitrary horizon (possibly in the past), or request a stop
+CLOCK_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("post"),
+            st.integers(min_value=0, max_value=8).map(lambda t: t * 0.5),
+            st.integers(min_value=-2, max_value=2),
+        ),
+        st.tuples(
+            st.just("run_until"),
+            st.integers(min_value=0, max_value=16).map(lambda t: t * 0.5),
+        ),
+        st.just(("stop",)),
+    ),
+    min_size=1,
+    max_size=32,
+)
+
+
+@given(CLOCK_OPS)
+@SETTINGS
+def test_clock_is_monotone_under_random_interleavings(ops):
+    """The logical clock never decreases, whatever the caller throws at it.
+
+    Random interleavings of ``post`` (relative future times),
+    ``run(until=...)`` with horizons before *and* after the current clock,
+    and ``stop()`` — observed from inside handlers and from the run loop's
+    return values alike.
+    """
+    core = EventCore()
+    observed = [core.now]
+
+    def note():
+        observed.append(core.now)
+
+    for op in ops:
+        if op[0] == "post":
+            core.post(core.now + op[1], note, priority=op[2])
+        elif op[0] == "run_until":
+            observed.append(core.run(until=op[1]))
+            observed.append(core.now)
+        else:
+            core.stop()
+    observed.append(core.run())
+    observed.append(core.now)
+    assert all(later >= earlier for earlier, later in zip(observed, observed[1:]))

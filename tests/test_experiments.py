@@ -69,6 +69,32 @@ class TestMetrics:
         assert set(utilisation) == set(resources)
         assert all(0.0 <= value <= 1.0 for value in utilisation.values())
 
+    def test_resource_utilisation_counts_duplicate_copies(self):
+        """Regression: duplicate copies placed by heft_dup were invisible.
+
+        Summing ``assignments_on`` only missed ``Schedule.duplicates``, so a
+        resource fully occupied by a duplicate reported 0% busy.
+        """
+        from repro.scheduling.base import Assignment, Schedule
+
+        schedule = Schedule()
+        schedule.add(Assignment("j1", "r1", 0.0, 10.0))
+        schedule.add(Assignment("j2", "r1", 10.0, 20.0))
+        schedule.add_duplicate(Assignment("j1", "r2", 0.0, 10.0))
+        utilisation = resource_utilisation(schedule, ["r1", "r2", "r3"])
+        assert utilisation["r1"] == pytest.approx(1.0)
+        assert utilisation["r2"] == pytest.approx(0.5)  # the duplicate's footprint
+        assert utilisation["r3"] == 0.0
+
+    def test_speedup_and_slr_with_empty_resource_pool(self, sample_workflow, sample_costs):
+        """Regression: an empty pool raised a bare ValueError from ``min()``.
+
+        Both metrics now follow the module's empty-input convention and
+        return 0.0 (no sequential baseline / no defined lower bound).
+        """
+        assert speedup(sample_workflow, sample_costs, 100.0, []) == 0.0
+        assert schedule_length_ratio(sample_workflow, sample_costs, 100.0, []) == 0.0
+
 
 class TestConfig:
     def test_grids_match_paper_tables(self):

@@ -186,3 +186,41 @@ class TestDataStructureProperties:
         ranks = upward_ranks(wf, costs, ["r1", "r2"])
         for src, dst, _ in wf.edges():
             assert ranks[src] >= ranks[dst] - 1e-9
+
+
+class TestIncrementalRankProperties:
+    @SETTINGS
+    @given(
+        case=priced_workflow(),
+        n_resources=st.integers(min_value=1, max_value=4),
+        batches=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=10_000),
+                    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+                ),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_dirty_cone_ranks_equal_full_recompute(
+        self, case, n_resources, batches
+    ):
+        """Random set_data batches: patched ranks == cold full recompute."""
+        from repro.workflow.analysis import _RANK_CACHE, upward_ranks
+
+        wf, costs = case
+        resources = [f"r{i}" for i in range(1, n_resources + 1)]
+        edges = wf.edges()
+        upward_ranks(wf, costs, resources)  # prime the cache
+        for batch in batches:
+            for pick, volume in batch:
+                src, dst, _ = edges[pick % len(edges)]
+                wf.set_data(src, dst, volume)
+            incremental = upward_ranks(wf, costs, resources)
+            _RANK_CACHE.pop(costs, None)
+            full = upward_ranks(wf, costs, resources)
+            assert incremental == full

@@ -120,3 +120,111 @@ class TestParallelism:
         assert profile[2] == 6
         assert profile[3] == 1
         assert profile[4] == 6
+
+
+class TestIncrementalRankCache:
+    """Dirty-cone rank maintenance must be invisible to callers.
+
+    When only edge data volumes changed between two ``upward_ranks`` calls,
+    the cached rank vector is patched in place by re-ranking the cone
+    upstream of the changed edges.  The patched ranks must be bit-identical
+    to a cold full recompute in every case.
+    """
+
+    def _random_case(self, v=60, seed=0):
+        from repro.generators.random_dag import (
+            RandomDAGParameters,
+            generate_random_case,
+        )
+
+        params = RandomDAGParameters(
+            v=v, out_degree=0.2, ccr=1.0, beta=0.5, omega_dag=300.0
+        )
+        return generate_random_case(params, seed=seed)
+
+    def _cold_ranks(self, workflow, costs, resources):
+        from repro.workflow.analysis import _RANK_CACHE
+
+        _RANK_CACHE.pop(costs, None)
+        return upward_ranks(workflow, costs, resources)
+
+    def test_incremental_equals_full_after_data_edits(self):
+        from repro.workflow.analysis import _RANK_CACHE
+
+        resources = [f"r{i + 1}" for i in range(8)]
+        for seed in (0, 2, 5):
+            case = self._random_case(seed=seed)
+            wf, costs = case.workflow, case.costs
+            upward_ranks(wf, costs, resources)  # prime the cache
+            cached = _RANK_CACHE[costs]["rank"]
+            edges = wf.edges()
+            for k, (src, dst, data) in enumerate(edges):
+                if k % 7 == 0:
+                    wf.set_data(src, dst, data * 3.0 + 1.0)
+            incremental = upward_ranks(wf, costs, resources)
+            # the cached storage was patched, not rebuilt
+            assert _RANK_CACHE[costs]["rank"] is cached
+            full = self._cold_ranks(wf, costs, resources)
+            assert incremental == full
+
+    def test_repeated_edits_stay_exact(self):
+        resources = [f"r{i + 1}" for i in range(5)]
+        case = self._random_case(v=40, seed=3)
+        wf, costs = case.workflow, case.costs
+        edges = wf.edges()
+        upward_ranks(wf, costs, resources)
+        for round_no in range(4):
+            for k, (src, dst, data) in enumerate(edges):
+                if k % 5 == round_no % 5:
+                    wf.set_data(src, dst, data * (0.5 + round_no))
+            incremental = upward_ranks(wf, costs, resources)
+            assert incremental == self._cold_ranks(wf, costs, resources)
+            upward_ranks(wf, costs, resources)  # re-prime after cold pop
+
+    def test_resources_change_misses_the_cache(self):
+        case = self._random_case(v=30, seed=1)
+        wf, costs = case.workflow, case.costs
+        pool_a = [f"r{i + 1}" for i in range(6)]
+        pool_b = pool_a + ["g1", "g2"]
+        ranks_a = upward_ranks(wf, costs, pool_a)
+        ranks_b = upward_ranks(wf, costs, pool_b)
+        assert ranks_a != ranks_b
+        assert ranks_b == self._cold_ranks(wf, costs, pool_b)
+        assert upward_ranks(wf, costs, None) == self._cold_ranks(wf, costs, None)
+
+    def test_structural_mutation_falls_back_to_full(self):
+        case = self._random_case(v=25, seed=4)
+        wf, costs = case.workflow, case.costs
+        resources = ["r1", "r2", "r3"]
+        upward_ranks(wf, costs, resources)
+        entry = wf.entry_jobs()[0]
+        wf.add_job("straggler")
+        wf.add_edge(entry, "straggler", data=5.0)
+        costs.base_costs["straggler"] = 80.0
+        costs.invalidate_cache()
+        after = upward_ranks(wf, costs, resources)
+        assert "straggler" in after
+        assert after == self._cold_ranks(wf, costs, resources)
+
+    def test_returned_dicts_are_fresh_objects(self):
+        case = self._random_case(v=20, seed=6)
+        wf, costs = case.workflow, case.costs
+        resources = ["r1", "r2"]
+        first = upward_ranks(wf, costs, resources)
+        first[next(iter(first))] = -1.0  # caller mutates its copy
+        second = upward_ranks(wf, costs, resources)
+        assert second == self._cold_ranks(wf, costs, resources)
+
+    def test_priority_order_tracks_data_edits(self):
+        from repro.scheduling.heft import heft_priority_order
+
+        case = self._random_case(v=35, seed=7)
+        wf, costs = case.workflow, case.costs
+        resources = [f"r{i + 1}" for i in range(4)]
+        heft_priority_order(wf, costs, resources)
+        for src, dst, data in wf.edges()[::4]:
+            wf.set_data(src, dst, data * 10.0 + 2.0)
+        ranks = self._cold_ranks(wf, costs, resources)
+        order = heft_priority_order(wf, costs, resources)
+        values = [ranks[j] for j in order]
+        assert values == sorted(values, reverse=True)

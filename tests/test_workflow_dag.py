@@ -152,3 +152,67 @@ class TestStructure:
     def test_subgraph_unknown_job_raises(self, diamond_workflow):
         with pytest.raises(KeyError):
             diamond_workflow.subgraph(["a", "ghost"])
+
+
+class TestMutationLog:
+    """The data-mutation log behind subgraph-scoped rank invalidation."""
+
+    def _chain(self):
+        wf = Workflow("log")
+        for j in ("a", "b", "c"):
+            wf.add_job(j)
+        wf.add_edge("a", "b", data=4.0)
+        wf.add_edge("b", "c", data=2.0)
+        return wf
+
+    def test_set_data_is_reconstructible(self):
+        wf = self._chain()
+        v0 = wf.version
+        wf.set_data("a", "b", 9.0)
+        wf.set_data("b", "c", 1.0)
+        assert wf.data_edges_changed_between(v0, wf.version) == [
+            ("a", "b"),
+            ("b", "c"),
+        ]
+
+    def test_empty_range_is_empty_not_none(self):
+        wf = self._chain()
+        assert wf.data_edges_changed_between(wf.version, wf.version) == []
+
+    def test_structural_mutation_defeats_reconstruction(self):
+        wf = self._chain()
+        v0 = wf.version
+        wf.set_data("a", "b", 9.0)
+        wf.add_job("d")
+        wf.add_edge("c", "d", data=1.0)
+        assert wf.data_edges_changed_between(v0, wf.version) is None
+        # but a window entirely after the structural change is fine again
+        v1 = wf.version
+        wf.set_data("c", "d", 3.0)
+        assert wf.data_edges_changed_between(v1, wf.version) == [("c", "d")]
+
+    def test_inverted_range_is_none(self):
+        wf = self._chain()
+        assert wf.data_edges_changed_between(wf.version + 1, wf.version) is None
+
+    def test_structure_version_only_bumps_on_topology(self):
+        wf = self._chain()
+        sv = wf.structure_version
+        wf.set_data("a", "b", 7.0)
+        assert wf.structure_version == sv
+        wf.add_job("d")
+        assert wf.structure_version == sv + 1
+
+    def test_log_overflow_falls_back_to_none(self):
+        wf = self._chain()
+        v0 = wf.version
+        limit = Workflow._MUTATION_LOG_LIMIT
+        for i in range(2 * limit + 1):
+            wf.set_data("a", "b", float(i + 1))
+        # the trimmed prefix is unreconstructible ...
+        assert wf.data_edges_changed_between(v0, wf.version) is None
+        # ... while the retained suffix still answers exactly
+        recent = wf.version - 10
+        assert wf.data_edges_changed_between(recent, wf.version) == [
+            ("a", "b")
+        ] * 10
